@@ -1,0 +1,86 @@
+"""Ablation: balanced-cut quality vs histogram granularity.
+
+Section 3.7 notes "the efficiency of load balancing depends upon the
+granularity of the bins in the histogram".  This benchmark quantifies it:
+the same skewed record stream is embedded with balanced cuts derived from
+histograms of increasing resolution, and the resulting leaf-level storage
+imbalance is measured (even cuts included as the zero-information
+baseline).
+"""
+
+import random
+
+from benchmarks.helpers import run_once
+
+from repro.bench.stats import format_table
+from repro.core.cuts import BalancedCuts, EvenCuts
+from repro.core.embedding import Embedding
+from repro.core.histogram import MultiDimHistogram
+from repro.core.schema import AttributeSpec, IndexSchema
+
+DEPTH = 5  # 32 leaf regions, about a 32-node overlay
+POINTS = 6000
+GRANULARITIES = [2, 8, 32, 256, 4096, 65536]
+
+
+def make_schema():
+    return IndexSchema(
+        "g",
+        attributes=[
+            AttributeSpec("dest", 0.0, 2.0**32),
+            AttributeSpec("octets", 0.0, 2e6),
+        ],
+    )
+
+
+def skewed_points(seed: int):
+    rng = random.Random(seed)
+    points = []
+    for _ in range(POINTS):
+        dest = (128 << 24) + int(rng.paretovariate(0.8) * 65536) % (192 << 16)
+        octets = min(2e6 - 1, rng.lognormvariate(11.5, 1.2))
+        points.append([dest, octets])
+    return points
+
+
+def leaf_imbalance(embedding, points):
+    counts = {}
+    for p in points:
+        code = embedding.point_code(p, depth=DEPTH).bits
+        counts[code] = counts.get(code, 0) + 1
+    top = max(counts.values())
+    return top / (POINTS / 2**DEPTH), len(counts)
+
+
+def experiment():
+    schema = make_schema()
+    points = skewed_points(770)
+    rows = []
+    even = Embedding(schema, EvenCuts(), code_depth=DEPTH)
+    ratio, leaves = leaf_imbalance(even, points)
+    rows.append(["even (none)", f"{ratio:.1f}x", leaves])
+    results = {"even": ratio}
+    for k in GRANULARITIES:
+        hist = MultiDimHistogram(2, k)
+        for p in points:
+            hist.add(schema.normalize(p))
+        emb = Embedding(schema, BalancedCuts(hist), code_depth=DEPTH)
+        ratio, leaves = leaf_imbalance(emb, points)
+        rows.append([f"balanced k={k}", f"{ratio:.1f}x", leaves])
+        results[k] = ratio
+    return rows, results
+
+
+def test_ablation_histogram_granularity(benchmark):
+    rows, results = run_once(benchmark, experiment)
+    print(f"\nAblation — leaf-storage imbalance (top leaf / uniform share) "
+          f"vs histogram granularity; {POINTS} skewed records, {2**DEPTH} regions")
+    print(format_table(["cut strategy", "imbalance", "occupied leaves"], rows))
+
+    # Even cuts on Pareto-skewed data are badly imbalanced.
+    assert results["even"] > 4.0
+    # Granularity buys balance; the finest histogram should approach the
+    # ideal (every leaf near the uniform share).
+    assert results[65536] < results[2]
+    assert results[65536] < 2.5
+    assert results[65536] <= results["even"] / 3.0

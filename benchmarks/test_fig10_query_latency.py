@@ -1,0 +1,42 @@
+"""Figure 10: query latency on the 34-node baseline deployment.
+
+Paper: median query latency around 500 ms — encouraging for on-line
+detection — but the distribution is skewed, with high 90th percentiles
+and means (routing transients, responders unable to reach originators).
+
+Here: the same statistics over the shared baseline run's query workload.
+"""
+
+from benchmarks.baseline_run import get_baseline_run
+from benchmarks.helpers import run_once
+
+from repro.bench.stats import format_table, summarize
+
+
+def test_fig10_query_latency(benchmark):
+    run = run_once(benchmark, get_baseline_run)
+    rows = []
+    for label, queries in run.slot_queries.items():
+        latencies = [m.latency for m in queries if m.latency is not None and m.complete]
+        if not latencies:
+            continue
+        s = summarize(latencies)
+        rows.append([
+            label, s["count"], f"{s['median']:.2f}", f"{s['mean']:.2f}",
+            f"{s['p90']:.2f}", f"{s['max']:.2f}",
+        ])
+    print("\nFigure 10 — query latency per slot (s)")
+    print(format_table(["slot", "queries", "median", "mean", "p90", "max"], rows))
+
+    latencies = [m.latency for m in run.all_queries if m.latency is not None and m.complete]
+    assert len(latencies) >= 100
+    s = summarize(latencies)
+    print(f"overall: median={s['median']:.2f}s mean={s['mean']:.2f}s p90={s['p90']:.2f}s")
+
+    # Paper regime: sub-second median, right-skewed distribution.
+    assert s["median"] < 1.5, f"median query latency {s['median']:.2f}s too slow"
+    assert s["p90"] > s["median"] * 1.5, "expected a skewed latency distribution"
+    assert s["mean"] > s["median"], "tail should pull the mean above the median"
+
+    complete = sum(1 for m in run.all_queries if m.complete)
+    assert complete / len(run.all_queries) > 0.95, "queries should essentially all complete"

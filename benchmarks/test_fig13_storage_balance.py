@@ -1,0 +1,93 @@
+"""Figure 13: per-node storage distribution — balanced vs even cuts.
+
+Paper: Figure 13 shows the data distribution across MIND nodes; with the
+histogram-derived balanced cuts, storage is far more even than the
+order-of-magnitude imbalance the raw (even-cut) embedding would produce
+on skewed traffic (Figure 2).  This bench runs the same workload under
+both embeddings and compares the imbalance directly — also the ablation
+for the balanced-cuts design decision.
+"""
+
+from benchmarks.helpers import planetlab_calibration, run_once
+
+from repro.bench.stats import format_table
+from repro.bench.workload import replay, timed_index_records
+from repro.core.cluster import MindCluster
+from repro.core.cuts import BalancedCuts, EvenCuts
+from repro.core.histogram import MultiDimHistogram
+from repro.net.topology import ABILENE_SITES
+from repro.traffic.datasets import abilene_generator
+from repro.traffic.generator import TrafficConfig
+from repro.traffic.indices import index2_schema
+
+START, DURATION = 39600.0, 600.0
+THRESHOLDS = {"index2": 10_000.0}
+HORIZON = 86400.0
+
+
+def imbalance_stats(distribution):
+    counts = sorted(distribution.values())
+    total = sum(counts)
+    nonempty = [c for c in counts if c > 0]
+    return {
+        "total": total,
+        "empty_nodes": sum(1 for c in counts if c == 0),
+        "max": counts[-1],
+        "top_share": counts[-1] / max(1, total),
+        "max_over_mean": counts[-1] / max(1.0, total / len(counts)),
+    }
+
+
+def run_with(strategy_factory, seed):
+    config = planetlab_calibration(seed=seed, slow_node_fraction=0.0)
+    cluster = MindCluster(ABILENE_SITES, config)
+    cluster.build()
+    gen = abilene_generator(seed=720, config=TrafficConfig(seed=720, flows_per_second=3.0))
+    timed = timed_index_records(gen, 0, START, DURATION, indices=("index2",), thresholds=THRESHOLDS)
+    schema = index2_schema(HORIZON)
+    cluster.create_index(schema, strategy=strategy_factory(schema, timed))
+    start, end = replay(cluster, timed)
+    cluster.advance((end - start) + 120.0)
+    return cluster.storage_distribution("index2"), len(timed)
+
+
+def even_strategy(schema, timed):
+    return EvenCuts()
+
+
+def balanced_strategy(schema, timed):
+    hist = MultiDimHistogram(3, (65536, 4096, 64))
+    for item in timed:
+        hist.add(schema.normalize(item.record.values))
+    return BalancedCuts(hist)
+
+
+def experiment():
+    even_dist, n = run_with(even_strategy, seed=721)
+    balanced_dist, _ = run_with(balanced_strategy, seed=722)
+    return even_dist, balanced_dist, n
+
+
+def test_fig13_storage_balance(benchmark):
+    even_dist, balanced_dist, n = run_once(benchmark, experiment)
+    even = imbalance_stats(even_dist)
+    balanced = imbalance_stats(balanced_dist)
+
+    rows = []
+    for address in sorted(even_dist):
+        rows.append([address, even_dist[address], balanced_dist.get(address, 0)])
+    print(f"\nFigure 13 — records per node, even vs balanced cuts ({n} records)")
+    print(format_table(["node", "even cuts", "balanced cuts"], rows))
+    print(f"even:     top node holds {100 * even['top_share']:.0f}% "
+          f"({even['max_over_mean']:.1f}x the mean), {even['empty_nodes']} empty nodes")
+    print(f"balanced: top node holds {100 * balanced['top_share']:.0f}% "
+          f"({balanced['max_over_mean']:.1f}x the mean), {balanced['empty_nodes']} empty nodes")
+
+    # Both runs stored everything (replication off, no failures).
+    assert even["total"] == balanced["total"] == n
+    # The paper's claim: balanced cuts remove the order-of-magnitude skew.
+    assert even["max_over_mean"] > 2.5, "even cuts should be visibly imbalanced"
+    assert balanced["max_over_mean"] < even["max_over_mean"] / 1.8, (
+        "balanced cuts should reduce the imbalance substantially"
+    )
+    assert balanced["empty_nodes"] <= even["empty_nodes"]

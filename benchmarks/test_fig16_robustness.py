@@ -1,0 +1,124 @@
+"""Figure 16: query success vs node failures at replication 0 / 1 / full.
+
+Paper (102 instances on a local cluster, Index-1 data, controlled random
+kills): without replication the fraction of successful queries decreases
+almost linearly with failures; with one replica MIND survives 15% failures
+without loss; with full replication it survives over 50%.
+
+Here: a 48-node co-located cluster (documented scale-down), the same
+three replication levels, failure fractions up to 50%, success = perfect
+recall against the centralized ground truth.
+"""
+
+from benchmarks.helpers import run_once
+
+from repro.bench.stats import format_table
+from repro.core.cluster import ClusterConfig, MindCluster
+from repro.core.query import RangeQuery
+from repro.core.records import Record
+from repro.core.replication import FULL_REPLICATION
+from repro.core.schema import AttributeSpec, IndexSchema
+from repro.overlay.node import OverlayConfig
+
+NODES = 48
+RECORDS = 400
+QUERIES = 24
+FAILURE_FRACTIONS = [0.0, 0.05, 0.10, 0.15, 0.25, 0.50]
+LEVELS = [("none", 0), ("1 replica", 1), ("full", FULL_REPLICATION)]
+
+
+def run_cell(replication: int, failure_fraction: float, seed: int) -> float:
+    overlay = OverlayConfig(
+        liveness_enabled=True, hb_interval_s=2.0, hb_timeout_s=7.0, adoption_delay_s=2.0
+    )
+    config = ClusterConfig(
+        seed=seed, overlay=overlay, track_ground_truth=True, slow_node_fraction=0.0
+    )
+    cluster = MindCluster(NODES, config)
+    cluster.build()
+    schema = IndexSchema(
+        "r",
+        attributes=[
+            AttributeSpec("dest", 0.0, 1000.0),
+            AttributeSpec("timestamp", 0.0, 86400.0, is_time=True),
+            AttributeSpec("fanout", 0.0, 5024.0),
+        ],
+    )
+    cluster.create_index(schema, replication=replication)
+
+    rng = cluster.sim.rng("fig16.workload")
+    addresses = [n.address for n in cluster.nodes]
+    base = cluster.sim.now
+    for i in range(RECORDS):
+        record = Record([rng.uniform(0, 1000), rng.uniform(0, 86400), rng.uniform(0, 5024)])
+        cluster.schedule_insert("r", record, rng.choice(addresses), base + i * 0.03)
+    cluster.advance(30.0)
+
+    # Selective monitoring queries, as in the paper's workload: each
+    # touches one or two regions, so success declines roughly linearly in
+    # the fraction of (unreplicated) regions lost.
+    queries = []
+    for i in range(QUERIES):
+        lo = rng.uniform(0, 970)
+        queries.append(RangeQuery("r", {"dest": (lo, lo + 30), "timestamp": (0, 86400)}))
+    expected = {i: cluster.reference_answer(q) for i, q in enumerate(queries)}
+
+    kill_count = int(round(failure_fraction * NODES))
+    kill_rng = cluster.sim.rng("fig16.kills")
+    victims = sorted(addresses, key=lambda a: kill_rng.random())[:kill_count]
+    for victim in victims:
+        cluster.failures.crash_node(victim, at_in_s=1.0)
+    cluster.advance(120.0)
+
+    survivors = [a for a in addresses if a not in victims]
+    good = 0
+    for i, query in enumerate(queries):
+        try:
+            metric = cluster.query_now(query, origin=survivors[i % len(survivors)], timeout_s=150.0)
+        except TimeoutError:
+            continue
+        if metric.record_keys >= expected[i]:
+            good += 1
+    return good / len(queries)
+
+
+def experiment():
+    table = {}
+    for label, level in LEVELS:
+        for frac in FAILURE_FRACTIONS:
+            table[(label, frac)] = run_cell(level, frac, seed=740 + int(frac * 100))
+    return table
+
+
+def test_fig16_robustness(benchmark):
+    table = run_once(benchmark, experiment)
+    rows = []
+    for frac in FAILURE_FRACTIONS:
+        rows.append(
+            [f"{int(frac * 100)}%"]
+            + [f"{table[(label, frac)]:.2f}" for label, _ in LEVELS]
+        )
+    print(f"\nFigure 16 — fraction of successful queries vs failed nodes "
+          f"({NODES} co-located nodes, {RECORDS} records, {QUERIES} queries/cell)")
+    print(format_table(["failed", "no replication", "1 replica", "full"], rows))
+
+    # No failures: everything succeeds at every level.
+    for label, _ in LEVELS:
+        assert table[(label, 0.0)] == 1.0
+
+    # Without replication success degrades markedly by 25-50% failures.
+    assert table[("none", 0.25)] < 0.9
+    assert table[("none", 0.50)] < table[("none", 0.10)]
+
+    # One replica: no loss through 15% failures (the paper's headline).
+    for frac in (0.05, 0.10, 0.15):
+        assert table[("1 replica", frac)] >= 0.95, (
+            f"1 replica at {frac:.0%} failures: {table[('1 replica', frac)]:.2f}"
+        )
+
+    # Full replication: survives 50% failures essentially unharmed.
+    assert table[("full", 0.50)] >= 0.9
+
+    # Ordering: more replication never hurts.
+    for frac in FAILURE_FRACTIONS:
+        assert table[("full", frac)] >= table[("none", frac)] - 0.05

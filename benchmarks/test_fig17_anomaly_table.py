@@ -1,0 +1,116 @@
+"""Figure 17 (table): capturing real-world anomalies with MIND queries.
+
+Paper: an 11-node MIND overlay congruent to Abilene replays ~25 minutes of
+the December 18th, 2003 trace in which an independent off-line analysis
+found anomalies at 13:30, 15:45, 15:55 (alpha flows) and 19:50, 19:55
+(DoS/scans).  For each anomaly MIND returned a small superset of the
+constituent records with average response times (queried from every node)
+on the order of a second; the returned tuples for the 19:55 DoS flows
+named the backbone routers on the attack paths.
+
+Here: the same five episodes with the synthetic Lakhina anomaly set, the
+same two query templates, queried from all 11 nodes.
+"""
+
+from benchmarks.helpers import planetlab_calibration, run_once
+
+from repro.anomaly.queries import alpha_flow_query, fanout_query, monitors_in_results
+from repro.bench.stats import format_table
+from repro.bench.workload import replay, timed_index_records
+from repro.core.cluster import MindCluster
+from repro.net.topology import ABILENE_SITES
+from repro.traffic.datasets import abilene_generator, lakhina_anomalies
+from repro.traffic.generator import TrafficConfig
+from repro.traffic.indices import index1_schema, index2_schema
+
+EPISODES = [
+    ("13:30", "alpha", 13 * 3600 + 30 * 60),
+    ("15:45", "alpha", 15 * 3600 + 45 * 60),
+    ("15:55", "alpha", 15 * 3600 + 55 * 60),
+    ("19:50", "fanout", 19 * 3600 + 50 * 60),
+    ("19:55", "fanout", 19 * 3600 + 55 * 60),
+]
+ACTUAL = {
+    "13:30": "2 alpha flows",
+    "15:45": "2 alpha flows",
+    "15:55": "2 alpha flows",
+    "19:50": "2 DoS, 1 scan",
+    "19:55": "2 DoS",
+}
+
+
+def experiment():
+    gen = abilene_generator(seed=750, config=TrafficConfig(seed=750, flows_per_second=1.0))
+    gen.anomalies.extend(lakhina_anomalies(gen))
+
+    config = planetlab_calibration(seed=751, track_ground_truth=True)
+    cluster = MindCluster(ABILENE_SITES, config)
+    cluster.build()
+    cluster.create_index(index1_schema(86400.0))
+    cluster.create_index(index2_schema(86400.0))
+
+    results = []
+    for label, kind, t_secs in EPISODES:
+        window_start = (t_secs // 300) * 300.0
+        # Replay the anomaly's 10-minute neighbourhood (the paper replayed
+        # a contiguous 25 minutes; the episodes are what matters).
+        timed = timed_index_records(
+            gen, 0, window_start - 60.0, 540.0, indices=("index1", "index2")
+        )
+        if timed:
+            start, end = replay(cluster, timed)
+            cluster.advance((end - start) + 60.0)
+
+        query = (
+            fanout_query(window_start, 300.0)
+            if kind == "fanout"
+            else alpha_flow_query(window_start, 300.0)
+        )
+        expected = cluster.reference_answer(query)
+        latencies, sizes, monitors, recall_ok = [], [], set(), True
+        for site in ABILENE_SITES:
+            metric = cluster.query_now(query, origin=site.name, timeout_s=200.0)
+            latencies.append(metric.latency)
+            sizes.append(metric.records)
+            monitors |= set(monitors_in_results(metric.results))
+            if not metric.record_keys >= expected:
+                recall_ok = False
+        results.append(
+            {
+                "label": label,
+                "kind": kind,
+                "result_size": max(sizes),
+                "expected": len(expected),
+                "avg_latency": sum(latencies) / len(latencies),
+                "monitors": tuple(sorted(monitors)),
+                "recall_ok": recall_ok and len(expected) > 0,
+            }
+        )
+    return results, [e for e in gen.anomalies if e.name.startswith("dos-1955")]
+
+
+def test_fig17_anomaly_table(benchmark):
+    results, dos_1955 = run_once(benchmark, experiment)
+    rows = [
+        [r["label"], r["result_size"], ACTUAL[r["label"]], f"{r['avg_latency']:.2f}"]
+        for r in results
+    ]
+    print("\nFigure 17 — anomaly capture on the 11-node Abilene-congruent overlay")
+    print(format_table(
+        ["anomaly time", "result size", "actual", "avg response time (s)"], rows
+    ))
+
+    for r in results:
+        assert r["recall_ok"], f"{r['label']}: MIND missed anomaly records (recall < 1)"
+        # A small superset: tens of records, not thousands.
+        assert r["expected"] <= r["result_size"] < 500
+        # Response times on the order of a second.
+        assert r["avg_latency"] < 6.0
+
+    # The by-product: the 19:55 DoS tuples name the routers on the paths.
+    last = results[-1]
+    for event in dos_1955:
+        assert set(event.monitors) <= set(last["monitors"]), (
+            f"{event.name}: path {event.monitors} not fully visible in {last['monitors']}"
+        )
+    print(f"19:55 DoS paths observed at: {last['monitors']}")

@@ -1,0 +1,53 @@
+"""Quickstart: deploy MIND, create an index, insert records, range-query.
+
+Run with::
+
+    python examples/quickstart.py
+
+This walks the paper's core loop on a small Abilene-shaped deployment:
+an 11-node hypercube overlay, one multi-dimensional index, a handful of
+traffic summaries, and a multi-dimensional range query answered with
+sub-second median latency.
+"""
+
+from repro import ClusterConfig, MindCluster, RangeQuery, Record
+from repro.net.topology import ABILENE_SITES
+from repro.traffic.indices import index2_schema
+
+
+def main() -> None:
+    # 1. Deploy: 11 MIND nodes placed at the Abilene PoPs, joined into a
+    #    balanced hypercube over a simulated WAN.
+    cluster = MindCluster(ABILENE_SITES, ClusterConfig(seed=7))
+    cluster.build()
+    print("overlay codes:")
+    for address, code in sorted(cluster.node_codes().items()):
+        print(f"  {address:6s} -> {code}")
+
+    # 2. Create Index-2: (dest_prefix, timestamp, octets) for alpha flows.
+    schema = index2_schema(horizon_s=86400.0)
+    cluster.create_index(schema, replication=1)
+
+    # 3. Insert traffic summaries from several monitors.
+    flows = [
+        ("CHIN", Record([0x80100000, 600.0, 120_000.0], payload={"source_prefix": 0x80000000, "node": "CHIN"})),
+        ("NYCM", Record([0x80100000, 615.0, 5_500_000.0], payload={"source_prefix": 0x80010000, "node": "NYCM"})),
+        ("LOSA", Record([0x80200000, 630.0, 95_000.0], payload={"source_prefix": 0x80020000, "node": "LOSA"})),
+    ]
+    for origin, record in flows:
+        metric = cluster.insert_now("index2", record, origin=origin)
+        print(f"insert from {origin}: {metric.hops} hops, {metric.latency * 1e3:.0f} ms")
+
+    # 4. Ask the paper's alpha-flow question: flows to any destination that
+    #    carried at least 4,000,000 octets in the last 5 minutes.
+    query = RangeQuery("index2", {"octets": (4_000_000, None), "timestamp": (600.0, 900.0)})
+    result = cluster.query_now(query, origin="ATLA")
+    print(f"\nquery complete={result.complete} latency={result.latency:.3f}s "
+          f"nodes_visited={result.cost}")
+    for record in result.results:
+        print(f"  alpha flow: dest={int(record.values[0]):#x} octets={record.values[2]:,.0f} "
+              f"seen at {record.payload['node']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — a reproduction of MIND, the distributed multi-dimensional index
+for wide-area network monitoring ("Advanced Indexing Techniques for
+Wide-Area Network Monitoring", ICDE 2005).
+
+Public API tour
+---------------
+Deploy a MIND system on a simulated wide-area network::
+
+    from repro import MindCluster, ClusterConfig
+    from repro.net import backbone_sites
+
+    cluster = MindCluster(backbone_sites(), ClusterConfig(seed=1))
+    cluster.build()
+
+Create an index, insert traffic summaries, run range queries::
+
+    from repro import RangeQuery
+    from repro.traffic import index2_schema
+
+    cluster.create_index(index2_schema(horizon_s=86400.0))
+    cluster.insert_now("index2", record, origin="CHIN")
+    result = cluster.query_now(
+        RangeQuery("index2", {"octets": (4_000_000, None),
+                              "timestamp": (t0, t0 + 300)}),
+        origin="NYCM",
+    )
+
+Sub-packages: ``sim`` (event kernel), ``net`` (WAN model), ``overlay``
+(hypercube), ``core`` (indexing), ``storage``, ``traffic`` (synthetic
+backbone workloads), ``anomaly`` (detection on top of MIND), ``baselines``
+(flooding / centralized / uniform-hash DHT) and ``bench`` (experiment
+harness helpers).
+"""
+
+from repro.core import (
+    AttributeSpec,
+    BalancedCuts,
+    ClusterConfig,
+    Embedding,
+    EvenCuts,
+    FULL_REPLICATION,
+    IndexSchema,
+    MetricsCollector,
+    MindCluster,
+    MindConfig,
+    MindNode,
+    MultiDimHistogram,
+    RangeQuery,
+    Record,
+    mismatch,
+)
+from repro.overlay import Code
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeSpec",
+    "BalancedCuts",
+    "ClusterConfig",
+    "Code",
+    "Embedding",
+    "EvenCuts",
+    "FULL_REPLICATION",
+    "IndexSchema",
+    "MetricsCollector",
+    "MindCluster",
+    "MindConfig",
+    "MindNode",
+    "MultiDimHistogram",
+    "RangeQuery",
+    "Record",
+    "__version__",
+    "mismatch",
+]

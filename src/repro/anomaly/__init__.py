@@ -1,0 +1,34 @@
+"""Anomaly detection on top of MIND (Section 5).
+
+Three pieces:
+
+* :mod:`repro.anomaly.offline` — a centralized off-line detector playing
+  the role of Lakhina et al.'s trace analysis: it scans the full aggregated
+  trace and produces the ground-truth anomaly list MIND is checked against.
+* :mod:`repro.anomaly.queries` — the paper's query templates (fanout >
+  1500 for DoS/scans on Index-1, octets > 4,000,000 for alpha flows on
+  Index-2, and the Index-3 covert-port template).
+* :mod:`repro.anomaly.drilldown` — the programmatic drill-down loop a
+  network operator would script: issue a coarse query, then progressively
+  shrink the traffic volume around what comes back.
+"""
+
+from repro.anomaly.drilldown import DrillDownResult, drill_down
+from repro.anomaly.offline import DetectedAnomaly, OfflineDetector
+from repro.anomaly.queries import (
+    alpha_flow_query,
+    covert_port_query,
+    fanout_query,
+    monitors_in_results,
+)
+
+__all__ = [
+    "DetectedAnomaly",
+    "DrillDownResult",
+    "OfflineDetector",
+    "alpha_flow_query",
+    "covert_port_query",
+    "drill_down",
+    "fanout_query",
+    "monitors_in_results",
+]

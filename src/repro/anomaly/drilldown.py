@@ -1,0 +1,99 @@
+"""Programmatic drill-down: progressively shrinking traffic volumes.
+
+The paper imagines the operator (or a script) "programmatically querying
+progressively smaller traffic volumes" once a coarse query flags a
+potential anomaly.  :func:`drill_down` implements that loop against a
+:class:`~repro.core.cluster.MindCluster`: it starts from a whole-window
+query and then narrows the destination-prefix dimension around the hottest
+responses until the result set is small enough to hand to trace analysis.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.cluster import MindCluster
+from repro.core.query import RangeQuery
+from repro.core.records import Record
+
+
+@dataclass
+class DrillDownStep:
+    """One query of a drill-down session and what it returned."""
+
+    query: RangeQuery
+    records: int
+    latency: float
+    nodes_visited: int
+
+
+@dataclass
+class DrillDownResult:
+    """Outcome of a drill-down session."""
+
+    steps: List[DrillDownStep] = field(default_factory=list)
+    final_records: List[Record] = field(default_factory=list)
+
+    @property
+    def total_latency(self) -> float:
+        """Virtual time spent across every drill-down query."""
+        return sum(s.latency for s in self.steps)
+
+    @property
+    def queries_issued(self) -> int:
+        return len(self.steps)
+
+
+def drill_down(
+    cluster: MindCluster,
+    initial: RangeQuery,
+    origin: str,
+    value_attribute: str,
+    target_size: int = 20,
+    max_depth: int = 6,
+) -> DrillDownResult:
+    """Narrow ``initial`` until at most ``target_size`` records remain.
+
+    At each step the query keeps only the destination-prefix range that
+    covers the hottest responses (by the anomaly attribute, e.g. fanout or
+    octets), halving the prefix dimension around it.
+    """
+    result = DrillDownResult()
+    query = initial
+    for _ in range(max_depth):
+        metric = cluster.query_now(query, origin=origin)
+        records = metric.results
+        result.steps.append(
+            DrillDownStep(
+                query=query,
+                records=len(records),
+                latency=metric.latency or 0.0,
+                nodes_visited=metric.cost,
+            )
+        )
+        result.final_records = records
+        if len(records) <= target_size or not records:
+            break
+        query = _narrow(query, records, value_attribute)
+        if query is None:
+            break
+    return result
+
+
+def _narrow(query: RangeQuery, records: List[Record], value_attribute: str) -> Optional[RangeQuery]:
+    """Halve the dest_prefix range around the record with the largest value.
+
+    Returns ``None`` when the range can no longer shrink meaningfully.
+    """
+    hottest = max(records, key=lambda r: r.values[2])
+    dest = hottest.values[0]
+    lo, hi = query.interval("dest_prefix")
+    lo = 0.0 if lo is None else lo
+    hi = 2.0**32 if hi is None else hi
+    width = (hi - lo) / 2.0
+    if width < 65536.0:
+        return None
+    new_lo = max(lo, dest - width / 2.0)
+    new_hi = new_lo + width
+    ranges = {name: iv for name, iv in query.ranges}
+    ranges["dest_prefix"] = (new_lo, new_hi)
+    return RangeQuery(query.index, ranges)

@@ -1,0 +1,16 @@
+"""Baseline querying-system architectures (Section 2.1).
+
+The paper motivates MIND's distributed design against two alternatives —
+query flooding (data stays at monitors, queries go everywhere) and a
+centralized repository — and, in related work, against building range
+search over a conventional DHT whose uniform hashing destroys data-space
+locality.  All three are implemented here over the same simulated WAN so
+the architecture-comparison ablation benchmark can measure them under
+identical workloads.
+"""
+
+from repro.baselines.centralized import CentralizedSystem
+from repro.baselines.dht import UniformHashSystem
+from repro.baselines.flooding import QueryFloodingSystem
+
+__all__ = ["CentralizedSystem", "QueryFloodingSystem", "UniformHashSystem"]

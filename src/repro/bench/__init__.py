@@ -1,0 +1,21 @@
+"""Experiment harness helpers shared by the benchmark suite.
+
+``workload`` turns generator output into timed, per-monitor index-record
+streams and replays them into a cluster at the paper's timescales;
+``stats`` provides the percentile/CDF/table formatting every benchmark
+uses to print its paper-figure reproduction.
+"""
+
+from repro.bench.stats import cdf_points, format_row, format_table, summarize
+from repro.bench.workload import TimedRecord, collect_aggregates, replay, timed_index_records
+
+__all__ = [
+    "TimedRecord",
+    "cdf_points",
+    "collect_aggregates",
+    "format_row",
+    "format_table",
+    "replay",
+    "summarize",
+    "timed_index_records",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface: quick looks at the MIND reproduction.
+
+Usage::
+
+    python -m repro.cli overlay --nodes 16 --seed 3
+    python -m repro.cli traffic --network abilene --minutes 5
+    python -m repro.cli demo --seed 7
+    python -m repro.cli anomaly --seed 21
+
+Each subcommand runs a self-contained simulation and prints a short
+report; they are the "kick the tires" entry points for a new user (the
+examples/ scripts tell the fuller stories).
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.stats import format_table
+
+
+def cmd_overlay(args: argparse.Namespace) -> int:
+    """Build an overlay and print the code assignment."""
+    from repro.core.cluster import ClusterConfig, MindCluster
+
+    cluster = MindCluster(args.nodes, ClusterConfig(seed=args.seed))
+    cluster.build()
+    rows = [[address, bits, len(bits)] for address, bits in sorted(cluster.node_codes().items())]
+    print(format_table(["node", "code", "bits"], rows))
+    lengths = [len(bits) for _, bits in cluster.node_codes().items()]
+    print(f"\n{args.nodes} nodes; code lengths {min(lengths)}-{max(lengths)} "
+          f"(balanced hypercube ~ log2(N) = {args.nodes.bit_length() - 1})")
+    return 0
+
+
+def cmd_traffic(args: argparse.Namespace) -> int:
+    """Generate synthetic backbone traffic and summarize the three indices."""
+    from repro.net.topology import ABILENE_SITES, GEANT_SITES, backbone_sites
+    from repro.traffic.aggregation import aggregate_flows
+    from repro.traffic.generator import BackboneTrafficGenerator, TrafficConfig
+    from repro.traffic.indices import index1_records, index2_records, index3_records
+
+    sites = {
+        "abilene": ABILENE_SITES,
+        "geant": GEANT_SITES,
+        "both": backbone_sites(),
+    }[args.network]
+    gen = BackboneTrafficGenerator(sites, TrafficConfig(seed=args.seed))
+    flows, aggregates = 0, []
+    for batch in gen.generate(0, 43200.0, args.minutes * 60.0, 30.0):
+        flows += len(batch)
+        aggregates.extend(aggregate_flows(batch))
+    rows = [
+        ["raw sampled flows", flows],
+        ["aggregated records", len(aggregates)],
+        ["Index-1 (fanout >= 16)", len(index1_records(aggregates))],
+        ["Index-2 (octets >= 80 KB)", len(index2_records(aggregates))],
+        ["Index-3 (flow size >= 1.5 KB)", len(index3_records(aggregates))],
+    ]
+    print(format_table(["stage", "records"], rows))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Insert and range-query on an Abilene-shaped deployment."""
+    from repro.core.cluster import ClusterConfig, MindCluster
+    from repro.core.query import RangeQuery
+    from repro.core.records import Record
+    from repro.net.topology import ABILENE_SITES
+    from repro.traffic.indices import index2_schema
+
+    cluster = MindCluster(ABILENE_SITES, ClusterConfig(seed=args.seed))
+    cluster.build()
+    cluster.create_index(index2_schema(86400.0), replication=1)
+    record = Record(
+        [0x80100000, 615.0, 5_500_000.0],
+        payload={"source_prefix": 0x80010000, "node": "NYCM"},
+    )
+    insert = cluster.insert_now("index2", record, origin="NYCM")
+    query = RangeQuery("index2", {"octets": (4_000_000, None), "timestamp": (600, 900)})
+    result = cluster.query_now(query, origin="ATLA")
+    print(f"insert: {insert.hops} hops, {insert.latency * 1e3:.0f} ms")
+    print(f"query:  {result.records} record(s), {result.latency * 1e3:.0f} ms, "
+          f"{result.cost} node(s) visited, complete={result.complete}")
+    return 0 if result.complete and result.records == 1 else 1
+
+
+def cmd_anomaly(args: argparse.Namespace) -> int:
+    """Inject a DoS attack, detect it with the paper's Index-1 query."""
+    from repro.anomaly.queries import fanout_query, monitors_in_results
+    from repro.bench.workload import replay, timed_index_records
+    from repro.core.cluster import ClusterConfig, MindCluster
+    from repro.net.topology import ABILENE_SITES
+    from repro.traffic.anomalies import DoSEvent
+    from repro.traffic.generator import BackboneTrafficGenerator, TrafficConfig
+    from repro.traffic.indices import index1_schema
+
+    gen = BackboneTrafficGenerator(ABILENE_SITES, TrafficConfig(seed=args.seed))
+    pool = gen.pools["abilene"]
+    dos = DoSEvent("cli-dos", 36000.0, 120.0, pool.prefixes[10], pool.prefixes[11],
+                   ("CHIN", "IPLS"), attempts_per_window=3000)
+    gen.anomalies.append(dos)
+
+    cluster = MindCluster(ABILENE_SITES, ClusterConfig(seed=args.seed + 1))
+    cluster.build()
+    cluster.create_index(index1_schema(86400.0))
+    # Window-aligned trace start so aggregation windows line up.
+    timed = timed_index_records(gen, 0, 35880.0, 420.0, indices=("index1",))
+    start, end = replay(cluster, timed)
+    cluster.advance((end - start) + 60.0)
+
+    result = cluster.query_now(fanout_query(36000.0, 300.0), origin="WASH")
+    monitors = monitors_in_results(result.results)
+    print(f"fanout > 1500 in [36000, 36300): {result.records} records "
+          f"in {result.latency:.2f}s")
+    print(f"attack observed at: {monitors}")
+    return 0 if set(dos.monitors) <= set(monitors) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="MIND reproduction — quick experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("overlay", help="build a hypercube overlay, print codes")
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_overlay)
+
+    p = sub.add_parser("traffic", help="summarize synthetic backbone traffic")
+    p.add_argument("--network", choices=["abilene", "geant", "both"], default="abilene")
+    p.add_argument("--minutes", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_traffic)
+
+    p = sub.add_parser("demo", help="insert + range query round trip")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("anomaly", help="inject a DoS and detect it")
+    p.add_argument("--seed", type=int, default=21)
+    p.set_defaults(func=cmd_anomaly)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

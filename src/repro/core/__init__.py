@@ -1,0 +1,56 @@
+"""MIND core: multi-dimensional indices on the hypercube overlay.
+
+This package implements the paper's primary contribution (Sections 3.4-3.7):
+
+* index schemas over multi-attribute flow records (``schema``, ``records``),
+* multi-dimensional range queries (``query``),
+* the locality-preserving data-space embedding with even and
+  histogram-balanced cuts (``cuts``, ``embedding``),
+* sparse multi-dimensional histograms and the Appendix-A mismatch metric
+  (``histogram``),
+* replica placement on hypercube neighbors (``replication``),
+* the MIND node (overlay + index + storage composition, ``mind_node``) and
+* the cluster driver used by examples, tests and benchmarks (``cluster``).
+"""
+
+from repro.core.balance import (
+    balanced_embedding,
+    histogram_from_records,
+    next_day_embedding,
+    recommended_granularity,
+)
+from repro.core.cluster import ClusterConfig, MindCluster
+from repro.core.cuts import BalancedCuts, EvenCuts
+from repro.core.embedding import Embedding
+from repro.core.histogram import MultiDimHistogram, mismatch
+from repro.core.metrics import InsertMetric, MetricsCollector, QueryMetric
+from repro.core.mind_node import MindConfig, MindNode
+from repro.core.query import RangeQuery
+from repro.core.records import Record
+from repro.core.replication import FULL_REPLICATION, replica_targets
+from repro.core.schema import AttributeSpec, IndexSchema
+
+__all__ = [
+    "AttributeSpec",
+    "BalancedCuts",
+    "balanced_embedding",
+    "ClusterConfig",
+    "Embedding",
+    "EvenCuts",
+    "FULL_REPLICATION",
+    "IndexSchema",
+    "InsertMetric",
+    "MetricsCollector",
+    "MindCluster",
+    "MindConfig",
+    "MindNode",
+    "MultiDimHistogram",
+    "QueryMetric",
+    "RangeQuery",
+    "Record",
+    "histogram_from_records",
+    "mismatch",
+    "next_day_embedding",
+    "recommended_granularity",
+    "replica_targets",
+]

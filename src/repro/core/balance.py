@@ -1,0 +1,84 @@
+"""Convenience API for building balanced-cut embeddings.
+
+The paper's operators compute balanced cuts off-line from a day of records
+and install them (Section 3.7).  These helpers package that workflow:
+choose a sensible per-dimension histogram granularity for a schema, build
+the histogram from records, and produce the embedding — used by the
+examples, the benchmarks and (via :func:`next_day_embedding`) the daily
+re-versioning loop.
+"""
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.core.cuts import BalancedCuts
+from repro.core.embedding import Embedding
+from repro.core.histogram import MultiDimHistogram
+from repro.core.records import Record
+from repro.core.schema import IndexSchema
+
+#: Granularity heuristics per attribute role: addresses need /16-level
+#: resolution (their occupied span is a sliver of 2^32), timestamps need
+#: bins finer than the trace slices being balanced, scalar attributes are
+#: smooth enough for coarse bins.
+ADDRESS_GRAINS = 65536
+TIME_GRAINS = 8192
+SCALAR_GRAINS = 64
+_ADDRESS_DOMAIN = 2.0**31  # anything with a domain this large is address-like
+
+
+def recommended_granularity(schema: IndexSchema) -> Tuple[int, ...]:
+    """Per-dimension histogram granularity suited to a schema."""
+    grains = []
+    for attr in schema.attributes:
+        if attr.is_time:
+            grains.append(TIME_GRAINS)
+        elif (attr.hi - attr.lo) >= _ADDRESS_DOMAIN:
+            grains.append(ADDRESS_GRAINS)
+        else:
+            grains.append(SCALAR_GRAINS)
+    return tuple(grains)
+
+
+def histogram_from_records(
+    schema: IndexSchema,
+    records: Iterable[Record],
+    granularity: Optional[Sequence[int]] = None,
+) -> MultiDimHistogram:
+    """Histogram a record sample in the schema's normalized space."""
+    grains = tuple(granularity) if granularity is not None else recommended_granularity(schema)
+    hist = MultiDimHistogram(schema.dimensions, grains)
+    for record in records:
+        hist.add(schema.normalize(record.values))
+    return hist
+
+
+def balanced_embedding(
+    schema: IndexSchema,
+    records: Iterable[Record],
+    granularity: Optional[Sequence[int]] = None,
+    code_depth: int = 16,
+) -> Embedding:
+    """A balanced-cut embedding derived from a record sample."""
+    hist = histogram_from_records(schema, records, granularity)
+    return Embedding(schema, BalancedCuts(hist), code_depth=code_depth)
+
+
+def next_day_embedding(
+    schema: IndexSchema,
+    histogram: MultiDimHistogram,
+    day_s: float = 86400.0,
+    code_depth: int = 16,
+) -> Embedding:
+    """Tomorrow's embedding from today's histogram.
+
+    The histogram's timestamp dimension is advanced by one day before
+    deriving the cuts — stationarity is a property of the traffic *mix*;
+    the clock still moves (Section 3.7's daily versioning).
+    """
+    time_dim = schema.time_dimension()
+    if time_dim is None:
+        shifted = histogram
+    else:
+        horizon = schema.attributes[time_dim].hi - schema.attributes[time_dim].lo
+        shifted = histogram.shifted(time_dim, day_s / horizon)
+    return Embedding(schema, BalancedCuts(shifted), code_depth=code_depth)

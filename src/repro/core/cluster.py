@@ -1,0 +1,294 @@
+"""Cluster driver: deploy, drive and measure a MIND overlay.
+
+:class:`MindCluster` is the experiment harness used by the examples, tests
+and benchmarks.  It owns the simulation kernel, the WAN model, a set of
+:class:`~repro.core.mind_node.MindNode` instances placed at physical sites,
+and a :class:`~repro.core.metrics.MetricsCollector`.  It offers both a
+blocking convenience API (``insert_now`` / ``query_now`` advance virtual
+time until the operation completes) and a scheduling API for replaying
+timed workloads (``schedule_insert`` / ``schedule_query`` + ``advance``).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.core.metrics import InsertMetric, MetricsCollector, QueryMetric
+from repro.core.mind_node import MindConfig, MindNode
+from repro.core.query import RangeQuery
+from repro.core.records import Record
+from repro.core.schema import IndexSchema
+from repro.net.failures import FailureInjector
+from repro.net.latency import LatencyModel
+from repro.net.network import SimNetwork
+from repro.net.topology import Site
+from repro.overlay.node import OverlayConfig
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class ClusterConfig:
+    """Deployment-wide configuration."""
+
+    seed: int = 0
+    overlay: OverlayConfig = field(default_factory=OverlayConfig)
+    mind: MindConfig = field(default_factory=MindConfig)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    bandwidth_bps: float = 10e6
+    record_link_delays: bool = False
+    #: Fraction of nodes that are pathologically slow (overloaded PlanetLab
+    #: hosts) and their slowdown factor.
+    slow_node_fraction: float = 0.08
+    slow_factor: float = 6.0
+    #: Keep a central copy of every inserted record for ground-truth recall
+    #: evaluation (Figure 16 and the anomaly experiments).
+    track_ground_truth: bool = False
+
+
+class MindCluster:
+    """A deployed MIND system under simulation."""
+
+    def __init__(self, sites: Union[int, Sequence[Site]], config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        self.sim = Simulator(self.config.seed)
+
+        if isinstance(sites, int):
+            # Local-cluster deployment (the paper's robustness experiment):
+            # all instances co-located, LAN latencies.
+            self.sites: Dict[str, Site] = {}
+            addresses = [f"node{i:03d}" for i in range(sites)]
+        else:
+            self.sites = {site.name: site for site in sites}
+            addresses = [site.name for site in sites]
+
+        self.network = SimNetwork(
+            self.sim,
+            self.sites,
+            latency_model=self.config.latency,
+            bandwidth_bps=self.config.bandwidth_bps,
+            record_link_delays=self.config.record_link_delays,
+        )
+        speed_rng = self.sim.rng("cluster.speed")
+        self.nodes: List[MindNode] = []
+        for address in addresses:
+            slow = speed_rng.random() < self.config.slow_node_fraction
+            node = MindNode(
+                self.sim,
+                self.network,
+                address,
+                config=self.config.overlay,
+                mind_config=self.config.mind,
+                speed_factor=self.config.slow_factor if slow else 1.0,
+            )
+            node.bootstrap_provider = self._bootstrap_for
+            self.nodes.append(node)
+        self.by_address: Dict[str, MindNode] = {n.address: n for n in self.nodes}
+
+        self.failures = FailureInjector(
+            self.sim,
+            self.network,
+            on_crash=lambda addr: self.by_address[addr].crash(),
+            on_restore=lambda addr: self.by_address[addr].restore(),
+        )
+        self.metrics = MetricsCollector()
+        self._bootstrap_rng = self.sim.rng("cluster.bootstrap")
+        self.ground_truth: Dict[str, List[Record]] = {}
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def _bootstrap_for(self, joiner: str) -> Optional[str]:
+        candidates = sorted(
+            node.address
+            for node in self.nodes
+            if node.in_overlay() and node.address != joiner and self.network.is_node_up(node.address)
+        )
+        if not candidates:
+            return None
+        return self._bootstrap_rng.choice(candidates)
+
+    def build(self, join_timeout_s: float = 600.0) -> None:
+        """Bring every node into the overlay (serialized joins)."""
+        self.nodes[0].activate_as_root()
+        for node in self.nodes[1:]:
+            bootstrap = self._bootstrap_for(node.address)
+            node.start_join(bootstrap)
+            ok = self.sim.run_until_predicate(node.in_overlay, timeout=join_timeout_s)
+            if not ok:
+                raise RuntimeError(f"{node.address} failed to join within {join_timeout_s}s")
+
+    def live_nodes(self) -> List[MindNode]:
+        return [n for n in self.nodes if n.in_overlay() and self.network.is_node_up(n.address)]
+
+    def node_codes(self) -> Dict[str, str]:
+        return {n.address: n.code.bits for n in self.live_nodes()}
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+    def create_index(
+        self,
+        schema: IndexSchema,
+        strategy=None,
+        replication: int = 0,
+        origin: Optional[str] = None,
+        settle_timeout_s: float = 300.0,
+    ) -> None:
+        """Create an index from ``origin`` and wait for the flood to settle."""
+        node = self.by_address[origin] if origin else self.nodes[0]
+        node.create_index(schema, strategy=strategy, replication=replication)
+        ok = self.sim.run_until_predicate(
+            lambda: all(n.has_index(schema.name) for n in self.live_nodes()),
+            timeout=settle_timeout_s,
+        )
+        if not ok:
+            raise RuntimeError(f"index {schema.name} did not propagate to all nodes")
+        if self.config.track_ground_truth:
+            self.ground_truth.setdefault(schema.name, [])
+
+    def install_version(
+        self,
+        index: str,
+        valid_from: float,
+        embedding,
+        origin: Optional[str] = None,
+        settle_timeout_s: float = 300.0,
+    ) -> None:
+        """Install a new daily embedding version and wait for propagation."""
+        node = self.by_address[origin] if origin else self.nodes[0]
+        node.install_version(index, valid_from, embedding)
+        ok = self.sim.run_until_predicate(
+            lambda: all(n.has_version_at(index, valid_from) for n in self.live_nodes()),
+            timeout=settle_timeout_s,
+        )
+        if not ok:
+            raise RuntimeError(f"version for {index} did not propagate")
+
+    def rebalance_daily(
+        self,
+        index: str,
+        day_start: float,
+        collector: Optional[str] = None,
+        granularity: Optional[Sequence[int]] = None,
+        timeout_s: float = 300.0,
+    ) -> None:
+        """Run one cycle of the paper's daily load-balancing loop.
+
+        A designated node collects the per-node histograms of the day that
+        just ended (``[day_start - 86400, day_start)``), derives balanced
+        cuts for the new day (timestamp dimension shifted forward), and
+        installs them as the version taking effect at ``day_start``.
+        """
+        from repro.core.balance import next_day_embedding, recommended_granularity
+
+        node = self.by_address[collector] if collector else self.nodes[0]
+        schema = node.indices[index].schema
+        grains = tuple(granularity) if granularity else recommended_granularity(schema)
+        merged = []
+        node.collect_histogram(
+            index,
+            granularity=grains,
+            time_range=(day_start - 86400.0, day_start),
+            expected_replies=len(self.live_nodes()),
+            callback=merged.append,
+            timeout_s=timeout_s / 2.0,
+        )
+        ok = self.sim.run_until_predicate(lambda: bool(merged), timeout=timeout_s)
+        if not ok:
+            raise RuntimeError(f"histogram collection for {index} did not complete")
+        embedding = next_day_embedding(schema, merged[0])
+        self.install_version(index, day_start, embedding, origin=node.address)
+
+    # ------------------------------------------------------------------
+    # Operations — scheduling API (timed workload replay)
+    # ------------------------------------------------------------------
+    def schedule_insert(self, index: str, record: Record, origin: str, at_time: float) -> None:
+        """Replay-style insertion at an absolute virtual time."""
+        self.sim.schedule_at(at_time, self._do_insert, index, record, origin)
+
+    def _do_insert(self, index: str, record: Record, origin: str) -> None:
+        node = self.by_address[origin]
+        if not node.in_overlay() or not node.has_index(index):
+            return
+        if self.config.track_ground_truth:
+            self.ground_truth.setdefault(index, []).append(record)
+        node.insert_record(index, record, callback=self.metrics.inserts.append)
+
+    def schedule_query(self, query: RangeQuery, origin: str, at_time: float) -> None:
+        self.sim.schedule_at(at_time, self._do_query, query, origin)
+
+    def _do_query(self, query: RangeQuery, origin: str) -> None:
+        node = self.by_address[origin]
+        if not node.in_overlay() or not node.has_index(query.index):
+            return
+        node.query_index(query, callback=self.metrics.queries.append)
+
+    def advance(self, seconds: float) -> None:
+        """Run the simulation forward by ``seconds`` of virtual time."""
+        self.sim.run_until(self.sim.now + seconds)
+
+    def settle(self, max_events: int = 50_000_000) -> None:
+        """Run until no events remain (only safe with liveness disabled)."""
+        self.sim.run_until_idle(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Operations — blocking convenience API
+    # ------------------------------------------------------------------
+    def insert_now(self, index: str, record: Record, origin: str, timeout_s: float = 120.0) -> InsertMetric:
+        """Insert and advance virtual time until the op completes."""
+        node = self.by_address[origin]
+        if self.config.track_ground_truth:
+            self.ground_truth.setdefault(index, []).append(record)
+        done: List[InsertMetric] = []
+        node.insert_record(index, record, callback=done.append)
+        self.sim.run_until_predicate(lambda: bool(done), timeout=timeout_s)
+        if not done:
+            raise TimeoutError(f"insert into {index} from {origin} did not complete")
+        self.metrics.inserts.append(done[0])
+        return done[0]
+
+    def query_now(self, query: RangeQuery, origin: str, timeout_s: float = 120.0) -> QueryMetric:
+        """Query and advance virtual time until the result is complete."""
+        node = self.by_address[origin]
+        done: List[QueryMetric] = []
+        node.query_index(query, callback=done.append)
+        self.sim.run_until_predicate(lambda: bool(done), timeout=timeout_s)
+        if not done:
+            raise TimeoutError(f"query on {query.index} from {origin} did not complete")
+        metric = done[0]
+        self.metrics.queries.append(metric)
+        return metric
+
+    def query_records(self, query: RangeQuery, origin: str, timeout_s: float = 120.0) -> List[Record]:
+        """Blocking query returning the matching records themselves."""
+        return self.query_now(query, origin, timeout_s=timeout_s).results
+
+    # ------------------------------------------------------------------
+    # Ground truth (centralized reference evaluation)
+    # ------------------------------------------------------------------
+    def reference_answer(self, query: RangeQuery) -> Set[int]:
+        """Record keys a correct evaluation of the query must return."""
+        if not self.config.track_ground_truth:
+            raise RuntimeError("cluster was not configured with track_ground_truth")
+        schema = None
+        for node in self.nodes:
+            if node.has_index(query.index):
+                schema = node.indices[query.index].schema
+                break
+        if schema is None:
+            raise KeyError(f"no node has index {query.index}")
+        return {
+            record.key
+            for record in self.ground_truth.get(query.index, ())
+            if query.matches(schema, record)
+        }
+
+    # ------------------------------------------------------------------
+    # Storage distribution (Figure 13)
+    # ------------------------------------------------------------------
+    def storage_distribution(self, index: str) -> Dict[str, int]:
+        """Primary records per node for one index (replicas excluded)."""
+        out = {}
+        for node in self.live_nodes():
+            state = node.indices.get(index)
+            out[node.address] = len(state.store) if state else 0
+        return out

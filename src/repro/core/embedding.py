@@ -1,0 +1,138 @@
+"""The locality-preserving data-space embedding (Section 3.4).
+
+The k-dimensional normalized data space is recursively cut by axis-aligned
+hyperplanes, cycling through the dimensions; every cut contributes one bit,
+so depth-L descent assigns an L-bit code to each point and a hyper-rectangle
+to each code.  Records whose codes share a node's code prefix are stored at
+that node — data-space locality becomes code-prefix locality, which the
+hypercube overlay preserves.
+
+The novelty the paper claims — decoupling the data-space mapping from the
+overlay — lives here: the embedding is a property of the *index* (and of
+the day's histogram), not of the overlay, so the number of dimensions k is
+independent of the hypercube's dimensionality and each index maps onto the
+same overlay differently.
+
+Cut positions are produced by a :class:`~repro.core.cuts.EvenCuts` or
+:class:`~repro.core.cuts.BalancedCuts` strategy and memoized per code
+prefix, which makes repeated descents cheap and guarantees every node
+derives the identical tree from the identical histogram.
+"""
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cuts import strategy_from_wire
+from repro.core.query import NormRect, full_rect
+from repro.core.schema import IndexSchema
+from repro.overlay.code import Code
+
+
+class Embedding:
+    """Maps points and rectangles of one index to codes, and back."""
+
+    def __init__(self, schema: IndexSchema, strategy, code_depth: int = 16) -> None:
+        if code_depth < 1:
+            raise ValueError("code_depth must be >= 1")
+        self.schema = schema
+        self.strategy = strategy
+        self.code_depth = code_depth
+        self._split_cache: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Cut access
+    # ------------------------------------------------------------------
+    def _split(self, prefix_bits: str, rect: NormRect) -> float:
+        split = self._split_cache.get(prefix_bits)
+        if split is None:
+            dim = len(prefix_bits) % self.schema.dimensions
+            split = self.strategy.split(rect, dim)
+            lo, hi = rect[dim]
+            if not lo < split < hi:
+                split = (lo + hi) / 2.0
+            self._split_cache[prefix_bits] = split
+        return split
+
+    @staticmethod
+    def _narrow(rect: NormRect, dim: int, split: float, bit: str) -> NormRect:
+        lo, hi = rect[dim]
+        new = (lo, split) if bit == "0" else (split, hi)
+        return rect[:dim] + (new,) + rect[dim + 1 :]
+
+    # ------------------------------------------------------------------
+    # Points
+    # ------------------------------------------------------------------
+    def point_code(self, values: Sequence[float], depth: Optional[int] = None) -> Code:
+        """The code of a raw-valued point, descended to ``depth`` bits."""
+        depth = self.code_depth if depth is None else depth
+        point = self.schema.normalize(values)
+        rect = full_rect(self.schema.dimensions)
+        bits = []
+        for level in range(depth):
+            dim = level % self.schema.dimensions
+            split = self._split("".join(bits), rect)
+            bit = "1" if point[dim] >= split else "0"
+            bits.append(bit)
+            rect = self._narrow(rect, dim, split, bit)
+        return Code("".join(bits))
+
+    # ------------------------------------------------------------------
+    # Regions
+    # ------------------------------------------------------------------
+    def region_rect(self, code: Code) -> NormRect:
+        """The normalized hyper-rectangle owned by ``code``."""
+        rect = full_rect(self.schema.dimensions)
+        for level, bit in enumerate(code.bits):
+            dim = level % self.schema.dimensions
+            split = self._split(code.bits[:level], rect)
+            rect = self._narrow(rect, dim, split, bit)
+        return rect
+
+    def query_prefix(self, query_rect: NormRect, max_depth: Optional[int] = None) -> Code:
+        """The longest code whose region fully contains the query rectangle.
+
+        This is the routing target for a query: small queries descend deep
+        (often to a single node's region), large queries stop early and get
+        split into sub-queries at the first abutting node (Section 3.6).
+        """
+        max_depth = self.code_depth if max_depth is None else max_depth
+        rect = full_rect(self.schema.dimensions)
+        bits = []
+        for level in range(max_depth):
+            dim = level % self.schema.dimensions
+            split = self._split("".join(bits), rect)
+            q_lo, q_hi = query_rect[dim]
+            if q_hi <= split:
+                bit = "0"
+            elif q_lo >= split:
+                bit = "1"
+            else:
+                break
+            bits.append(bit)
+            rect = self._narrow(rect, dim, split, bit)
+        return Code("".join(bits))
+
+    def region_raw_ranges(self, code: Code) -> List[Tuple[float, float]]:
+        """The region rectangle in raw attribute units (for local stores)."""
+        rect = self.region_rect(code)
+        out = []
+        for attr, (lo, hi) in zip(self.schema.attributes, rect):
+            out.append((attr.denormalize(lo), attr.denormalize(hi)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Wire form (installed at index creation and daily rebalancing)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict:
+        return {
+            "schema": self.schema.to_wire(),
+            "strategy": self.strategy.to_wire(),
+            "code_depth": self.code_depth,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict) -> "Embedding":
+        return cls(
+            schema=IndexSchema.from_wire(data["schema"]),
+            strategy=strategy_from_wire(data["strategy"]),
+            code_depth=data["code_depth"],
+        )

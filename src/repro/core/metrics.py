@@ -1,0 +1,141 @@
+"""Operation metrics collected by the cluster driver.
+
+Everything the paper's evaluation plots comes from these records:
+insertion path length and latency (Figures 7, 14), query cost — the number
+of overlay nodes visited — and query latency (Figures 9, 10), and query
+success/recall under failures (Figure 16).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+
+@dataclass
+class InsertMetric:
+    op_id: str
+    index: str
+    origin: str
+    start: float
+    end: Optional[float] = None
+    hops: Optional[int] = None
+    success: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+
+@dataclass
+class QueryMetric:
+    op_id: str
+    index: str
+    origin: str
+    start: float
+    end: Optional[float] = None
+    records: int = 0
+    record_keys: Set[int] = field(default_factory=set)
+    #: The matching records themselves (available once the query finishes).
+    results: List = field(default_factory=list)
+    nodes_visited: Set[str] = field(default_factory=set)
+    regions: int = 0
+    complete: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    @property
+    def cost(self) -> int:
+        """Query cost as defined in Section 4.1: overlay nodes visited."""
+        return len(self.nodes_visited)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sample set."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    if q <= 0:
+        return ordered[0]
+    if q >= 100:
+        return ordered[-1]
+    rank = int(round((q / 100.0) * (len(ordered) - 1)))
+    return ordered[rank]
+
+
+@dataclass
+class LatencySummary:
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            raise ValueError("no samples")
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            median=percentile(samples, 50),
+            p90=percentile(samples, 90),
+            p99=percentile(samples, 99),
+            maximum=max(samples),
+        )
+
+
+class MetricsCollector:
+    """Accumulates per-operation metrics for one experiment run."""
+
+    def __init__(self) -> None:
+        self.inserts: List[InsertMetric] = []
+        self.queries: List[QueryMetric] = []
+
+    # ------------------------------------------------------------------
+    def insert_latencies(self, successful_only: bool = True) -> List[float]:
+        return [
+            m.latency
+            for m in self.inserts
+            if m.latency is not None and (m.success or not successful_only)
+        ]
+
+    def insert_hops(self) -> List[int]:
+        return [m.hops for m in self.inserts if m.hops is not None]
+
+    def query_latencies(self, complete_only: bool = True) -> List[float]:
+        return [
+            m.latency
+            for m in self.queries
+            if m.latency is not None and (m.complete or not complete_only)
+        ]
+
+    def query_costs(self) -> List[int]:
+        return [m.cost for m in self.queries if m.end is not None]
+
+    def insert_summary(self) -> LatencySummary:
+        return LatencySummary.of(self.insert_latencies())
+
+    def query_summary(self) -> LatencySummary:
+        return LatencySummary.of(self.query_latencies())
+
+    def query_success_fraction(self, expected: Dict[str, Set[int]]) -> float:
+        """Fraction of queries that returned exactly the expected keys.
+
+        ``expected`` maps query op_id to the ground-truth record key set
+        (from a centralized reference evaluation); a query succeeds when it
+        completed and achieved perfect recall — the paper's Figure 16
+        success criterion.
+        """
+        if not self.queries:
+            raise ValueError("no queries recorded")
+        relevant = [m for m in self.queries if m.op_id in expected]
+        if not relevant:
+            raise ValueError("no queries match the expected set")
+        good = sum(1 for m in relevant if expected[m.op_id] <= m.record_keys)
+        return good / len(relevant)

@@ -1,0 +1,1002 @@
+"""The MIND node: index management on top of the hypercube overlay.
+
+A :class:`MindNode` is an :class:`~repro.overlay.node.OverlayNode` that adds
+the paper's application machinery:
+
+* index lifecycle — ``create_index`` / ``drop_index`` flooded across the
+  overlay, with schemas and embedding versions handed to joiners,
+* data insertion — records are embedded to a code and routed to the owner,
+  which stores them through its DAC and replicates to hypercube neighbors,
+* query processing — a query routes to its prefix region and is split into
+  sub-queries covering the overlay's actual regions, with all responses
+  returned directly to the originator (Section 3.6),
+* the sibling pointer — a freshly joined node forwards queries for its
+  region to its split host until the host's pre-split data has aged, and
+* on-line histogram collection (the paper's planned extension): a collector
+  floods a request and merges per-node histograms of an index's data.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.cuts import BalancedCuts, EvenCuts
+from repro.core.embedding import Embedding
+from repro.core.histogram import MultiDimHistogram
+from repro.core.metrics import InsertMetric, QueryMetric
+from repro.core.query import RangeQuery, rect_intersection
+from repro.core.records import Record
+from repro.core.replication import replica_targets
+from repro.core.schema import IndexSchema
+from repro.core.triggers import Trigger, TriggerTable, new_trigger_id
+from repro.core.versioning import VersionedEmbedding
+from repro.net.message import Message
+from repro.overlay.code import Code
+from repro.overlay.node import OverlayConfig, OverlayNode
+from repro.storage.dac import DacConfig, DataAccessController
+from repro.storage.memtable import TimePartitionedStore
+
+
+@dataclass
+class MindConfig:
+    """Application-level tunables of a MIND node."""
+
+    code_depth: int = 16
+    insert_timeout_s: float = 90.0
+    query_timeout_s: float = 90.0
+    dac: DacConfig = field(default_factory=DacConfig)
+    store_bucket_s: float = 300.0
+    record_wire_bytes: int = 120
+    response_base_bytes: int = 150
+
+
+@dataclass
+class IndexState:
+    """Everything one node keeps for one index."""
+
+    schema: IndexSchema
+    versions: VersionedEmbedding
+    replication: int
+    store: TimePartitionedStore
+    dac: DataAccessController
+
+
+@dataclass
+class _InsertOp:
+    metric: InsertMetric
+    callback: Optional[Callable[[InsertMetric], None]]
+    timeout_event: Any = None
+
+
+@dataclass
+class _QueryOp:
+    metric: QueryMetric
+    query: RangeQuery
+    pending: Set[str]
+    answered: Set[str] = field(default_factory=set)
+    records: Dict[int, Record] = field(default_factory=dict)
+    failed_regions: Set[str] = field(default_factory=set)
+    callback: Optional[Callable[[QueryMetric], None]] = None
+    timeout_event: Any = None
+    done: bool = False
+
+
+class MindNode(OverlayNode):
+    """One MIND instance: overlay participant + index manager + storage."""
+
+    def __init__(
+        self,
+        sim,
+        network,
+        address: str,
+        config: Optional[OverlayConfig] = None,
+        mind_config: Optional[MindConfig] = None,
+        speed_factor: float = 1.0,
+    ) -> None:
+        super().__init__(sim, network, address, config=config, speed_factor=speed_factor)
+        self.mind_config = mind_config or MindConfig()
+        self.indices: Dict[str, IndexState] = {}
+        self._op_counter = itertools.count(1)
+        self._insert_ops: Dict[str, _InsertOp] = {}
+        self._query_ops: Dict[str, _QueryOp] = {}
+        self._seen_floods: Set[Tuple] = set()
+        self._sibling_fetches: Dict[str, Dict[str, Any]] = {}
+        self._histo_collections: Dict[str, Dict[str, Any]] = {}
+        self.trigger_table = TriggerTable()
+        self._trigger_subs: Dict[str, Callable[[Record], None]] = {}
+        self._trigger_regs: Dict[str, Dict[str, Any]] = {}
+        self.records_stored = 0
+        self.replicas_stored = 0
+        self.triggers_fired = 0
+
+    # ==================================================================
+    # Message plumbing
+    # ==================================================================
+    def extra_handlers(self):
+        return {
+            "insert_ack": self._on_insert_ack,
+            "op_failed": self._on_op_failed,
+            "query_response": self._on_query_response,
+            "sibling_fetch": self._on_sibling_fetch,
+            "sibling_data": self._on_sibling_data,
+            "replica_store": self._on_replica_store,
+            "index_create": self._on_index_create,
+            "index_version": self._on_index_version,
+            "index_drop": self._on_index_drop,
+            "histo_request": self._on_histo_request,
+            "histo_reply": self._on_histo_reply,
+            "trigger_installed": self._on_trigger_installed,
+            "trigger_fire": self._on_trigger_fire,
+            "trigger_drop": self._on_trigger_drop,
+        }
+
+    def _next_op_id(self) -> str:
+        return f"{self.address}:{next(self._op_counter)}"
+
+    def _flood(self, kind: str, payload: Dict[str, Any], dedupe_key: Tuple) -> None:
+        """Deliver a control message to every overlay node via link flooding."""
+        if dedupe_key in self._seen_floods:
+            return
+        self._seen_floods.add(dedupe_key)
+        for addr, _ in self.links():
+            self._send(addr, kind, payload, size_bytes=self.config.control_msg_bytes * 2)
+
+    # ==================================================================
+    # Index lifecycle (create_index / drop_index)
+    # ==================================================================
+    def create_index(
+        self,
+        schema: IndexSchema,
+        strategy=None,
+        replication: int = 0,
+        code_depth: Optional[int] = None,
+    ) -> None:
+        """Create and flood a new index from this node.
+
+        ``strategy`` defaults to even cuts; pass a
+        :class:`~repro.core.cuts.BalancedCuts` built from a histogram for
+        the load-balanced embedding.
+        """
+        if schema.name in self.indices:
+            raise ValueError(f"index {schema.name} already exists")
+        embedding = Embedding(
+            schema,
+            strategy or EvenCuts(),
+            code_depth=code_depth or self.mind_config.code_depth,
+        )
+        versions = VersionedEmbedding(embedding)
+        payload = {
+            "index": schema.name,
+            "versions": versions.to_wire(),
+            "replication": replication,
+        }
+        self._install_index(schema.name, versions, replication)
+        self._flood("index_create", payload, ("create", schema.name))
+
+    def drop_index(self, name: str) -> None:
+        if name not in self.indices:
+            raise KeyError(f"unknown index {name}")
+        self._drop_index(name)
+        self._flood("index_drop", {"index": name}, ("drop", name))
+
+    def install_version(self, index: str, valid_from: float, embedding: Embedding) -> None:
+        """Install a new daily embedding version and flood it (Section 3.7)."""
+        state = self._state(index)
+        state.versions.install(valid_from, embedding)
+        payload = {"index": index, "valid_from": valid_from, "embedding": embedding.to_wire()}
+        self._flood("index_version", payload, ("version", index, valid_from))
+
+    def has_index(self, name: str) -> bool:
+        return name in self.indices
+
+    def has_version_at(self, name: str, valid_from: float) -> bool:
+        state = self.indices.get(name)
+        if state is None:
+            return False
+        return any(vf == valid_from for vf, _ in state.versions.versions)
+
+    def _state(self, index: str) -> IndexState:
+        state = self.indices.get(index)
+        if state is None:
+            raise KeyError(f"index {index} is not installed at {self.address}")
+        return state
+
+    def _install_index(self, name: str, versions: VersionedEmbedding, replication: int) -> None:
+        schema = versions.latest().schema
+        self.indices[name] = IndexState(
+            schema=schema,
+            versions=versions,
+            replication=replication,
+            store=TimePartitionedStore(schema, bucket_s=self.mind_config.store_bucket_s),
+            dac=DataAccessController(self.sim, self.mind_config.dac, self.speed_factor),
+        )
+
+    def _drop_index(self, name: str) -> None:
+        self.indices.pop(name, None)
+
+    def _on_index_create(self, msg: Message) -> None:
+        payload = msg.payload
+        name = payload["index"]
+        key = ("create", name)
+        if key in self._seen_floods:
+            return
+        if name not in self.indices:
+            self._install_index(
+                name, VersionedEmbedding.from_wire(payload["versions"]), payload["replication"]
+            )
+        self._flood("index_create", payload, key)
+
+    def _on_index_version(self, msg: Message) -> None:
+        payload = msg.payload
+        name, valid_from = payload["index"], payload["valid_from"]
+        key = ("version", name, valid_from)
+        if key in self._seen_floods:
+            return
+        state = self.indices.get(name)
+        if state is not None and not self.has_version_at(name, valid_from):
+            state.versions.install(valid_from, Embedding.from_wire(payload["embedding"]))
+        self._flood("index_version", payload, key)
+
+    def _on_index_drop(self, msg: Message) -> None:
+        name = msg.payload["index"]
+        key = ("drop", name)
+        if key in self._seen_floods:
+            return
+        self._drop_index(name)
+        self._flood("index_drop", msg.payload, key)
+
+    # ==================================================================
+    # Hooks from the overlay layer
+    # ==================================================================
+    def on_split_transfer_state(self, old_code: Code, joiner_code: Code) -> Dict[str, Any]:
+        return {
+            "indices": [
+                {
+                    "index": name,
+                    "versions": state.versions.to_wire(),
+                    "replication": state.replication,
+                }
+                for name, state in self.indices.items()
+            ],
+            "floods": sorted((list(k) for k in self._seen_floods), key=str),
+            "triggers": self.trigger_table.all_wire(),
+        }
+
+    def on_split_received_state(self, state: Dict[str, Any]) -> None:
+        for entry in state.get("indices", ()):
+            if entry["index"] not in self.indices:
+                self._install_index(
+                    entry["index"],
+                    VersionedEmbedding.from_wire(entry["versions"]),
+                    entry["replication"],
+                )
+        for key in state.get("floods", ()):
+            self._seen_floods.add(tuple(key))
+        for entry in state.get("triggers", ()):
+            self.trigger_table.install(entry["index"], Trigger.from_wire(entry["trigger"]))
+
+    def on_route_arrival(self, envelope: Dict[str, Any]) -> None:
+        inner_kind = envelope["inner_kind"]
+        if inner_kind == "insert":
+            self._arrive_insert(envelope)
+        elif inner_kind == "subquery":
+            self._arrive_subquery(envelope)
+        elif inner_kind == "trigger_install":
+            self._arrive_trigger_install(envelope)
+        else:
+            raise ValueError(f"unexpected routed kind {inner_kind!r}")
+
+    def on_route_failed(self, envelope: Dict[str, Any], reason: str) -> None:
+        inner_kind = envelope["inner_kind"]
+        origin = envelope["origin"]
+        if inner_kind == "insert":
+            payload = {"kind": "insert", "op_id": envelope["inner"]["op_id"]}
+        elif inner_kind == "trigger_install":
+            payload = {
+                "kind": "trigger_install",
+                "op_id": envelope["inner"]["reg_id"],
+                "region": envelope["target"],
+            }
+        else:
+            payload = {
+                "kind": "subquery",
+                "op_id": envelope["inner"]["qid"],
+                "region": f"{envelope['inner']['version']}:{envelope['target']}",
+            }
+        if origin == self.address:
+            self._apply_op_failure(payload)
+        else:
+            self._send(origin, "op_failed", payload)
+
+    def _on_op_failed(self, msg: Message) -> None:
+        self._apply_op_failure(msg.payload)
+
+    def _apply_op_failure(self, payload: Dict[str, Any]) -> None:
+        if payload["kind"] == "insert":
+            op = self._insert_ops.pop(payload["op_id"], None)
+            if op is not None:
+                self._finish_insert(op, success=False, hops=None)
+        elif payload["kind"] == "trigger_install":
+            reg = self._trigger_regs.get(payload["op_id"])
+            if reg is not None:
+                reg["failed"] = True
+                reg["pending"].discard(payload["region"])
+                if not reg["pending"]:
+                    self._finish_trigger_registration(payload["op_id"])
+        else:
+            op = self._query_ops.get(payload["op_id"])
+            if op is not None and not op.done:
+                op.failed_regions.add(payload["region"])
+                op.pending.discard(payload["region"])
+                if not op.pending:
+                    self._finish_query(op)
+
+    # ==================================================================
+    # Insertion (Section 3.5)
+    # ==================================================================
+    def insert_record(
+        self,
+        index: str,
+        record: Record,
+        callback: Optional[Callable[[InsertMetric], None]] = None,
+    ) -> str:
+        """Insert a record into an index from this node; returns the op id."""
+        state = self._state(index)
+        time_dim = state.schema.time_dimension()
+        t_ref = record.values[time_dim] if time_dim is not None else self.sim.now
+        embedding = state.versions.for_time(t_ref)
+        code = embedding.point_code(record.values)
+        op_id = self._next_op_id()
+        metric = InsertMetric(op_id=op_id, index=index, origin=self.address, start=self.sim.now)
+        op = _InsertOp(metric=metric, callback=callback)
+        op.timeout_event = self.sim.schedule(
+            self.mind_config.insert_timeout_s, self._insert_timed_out, op_id
+        )
+        self._insert_ops[op_id] = op
+        inner = {"index": index, "record": record.to_wire(), "op_id": op_id}
+        self.route(code, "insert", inner, op_id=("ins", op_id), tuples=1)
+        return op_id
+
+    def _insert_timed_out(self, op_id: str) -> None:
+        op = self._insert_ops.pop(op_id, None)
+        if op is not None:
+            self._finish_insert(op, success=False, hops=None)
+
+    def _finish_insert(self, op: _InsertOp, success: bool, hops: Optional[int]) -> None:
+        if op.timeout_event is not None:
+            op.timeout_event.cancel()
+        op.metric.end = self.sim.now
+        op.metric.success = success
+        op.metric.hops = hops
+        if op.callback is not None:
+            op.callback(op.metric)
+
+    def _arrive_insert(self, envelope: Dict[str, Any]) -> None:
+        inner = envelope["inner"]
+        state = self.indices.get(inner["index"])
+        if state is None:
+            # Flood race: the index is not installed here yet.  Fail the op
+            # so the originator can retry rather than silently losing data.
+            self.on_route_failed(envelope, "no-such-index")
+            return
+        record = Record.from_wire(inner["record"])
+        state.dac.submit(
+            state.dac.insert_cost(1), self._complete_insert_store, state, record, envelope
+        )
+
+    def _complete_insert_store(self, state: IndexState, record: Record, envelope: Dict[str, Any]) -> None:
+        if not self.in_overlay():
+            return
+        if state.store.insert(record):
+            self.records_stored += 1
+            self._fire_triggers(state, record)
+        origin = envelope["origin"]
+        ack = {"op_id": envelope["inner"]["op_id"], "hops": envelope["hops"]}
+        if origin == self.address:
+            self._apply_insert_ack(ack)
+        else:
+            self._send(origin, "insert_ack", ack)
+        self._replicate(state, record)
+
+    def _replicate(self, state: IndexState, record: Record) -> None:
+        if state.replication == 0 or self.code is None or len(self.code) == 0:
+            return
+        targets = replica_targets(self.code, state.replication)
+        links = self.links()
+        wire = {"index": state.schema.name, "record": record.to_wire()}
+        sent: Set[str] = set()
+        for target in targets:
+            for addr, code in links:
+                if code.comparable(target) and addr not in sent:
+                    sent.add(addr)
+                    self._send(
+                        addr,
+                        "replica_store",
+                        wire,
+                        size_bytes=self.mind_config.record_wire_bytes,
+                        tuples=1,
+                    )
+
+    def _on_replica_store(self, msg: Message) -> None:
+        state = self.indices.get(msg.payload["index"])
+        if state is None:
+            return
+        record = Record.from_wire(msg.payload["record"])
+        state.dac.submit(state.dac.replica_cost(1), self._complete_replica_store, state, record)
+
+    def _complete_replica_store(self, state: IndexState, record: Record) -> None:
+        if not self.in_overlay():
+            return
+        if state.store.insert(record):
+            self.replicas_stored += 1
+
+    def _on_insert_ack(self, msg: Message) -> None:
+        self._apply_insert_ack(msg.payload)
+
+    def _apply_insert_ack(self, payload: Dict[str, Any]) -> None:
+        op = self._insert_ops.pop(payload["op_id"], None)
+        if op is not None:
+            self._finish_insert(op, success=True, hops=payload["hops"])
+
+    # ==================================================================
+    # Query processing (Section 3.6)
+    # ==================================================================
+    def query_index(
+        self,
+        query: RangeQuery,
+        callback: Optional[Callable[[QueryMetric], None]] = None,
+    ) -> str:
+        """Issue a multi-dimensional range query from this node.
+
+        A query whose time interval spans several daily index versions is
+        split into one sub-operation per version — each version has its
+        own cut tree, so "the relevant index versions ... will be evident
+        from the query itself" (Section 3.7).  Results merge under one op.
+        """
+        state = self._state(query.index)
+        rect = query.normalized_rect(state.schema)
+        t_lo, t_hi = self._query_time_range(state.schema, query)
+        segments = self._version_segments(state, t_lo, t_hi)
+
+        op_id = self._next_op_id()
+        metric = QueryMetric(op_id=op_id, index=query.index, origin=self.address, start=self.sim.now)
+        op = _QueryOp(metric=metric, query=query, pending=set(), callback=callback)
+        op.timeout_event = self.sim.schedule(
+            self.mind_config.query_timeout_s, self._query_timed_out, op_id
+        )
+        self._query_ops[op_id] = op
+
+        time_dim = state.schema.time_dimension()
+        for version_idx, seg_lo, seg_hi in segments:
+            seg_rect = self._clamp_time(rect, state.schema, time_dim, seg_lo, seg_hi)
+            embedding = state.versions.versions[version_idx][1]
+            prefix = embedding.query_prefix(seg_rect)
+            op.pending.add(f"{version_idx}:{prefix.bits}")
+            inner = {
+                "index": query.index,
+                "qid": op_id,
+                "rect": [list(side) for side in seg_rect],
+                "version": version_idx,
+                "time_range": [seg_lo, seg_hi],
+            }
+            self.route(prefix, "subquery", inner, op_id=("sub", op_id, version_idx, prefix.bits))
+        return op_id
+
+    @staticmethod
+    def _query_time_range(schema: IndexSchema, query: RangeQuery) -> Tuple[Optional[float], Optional[float]]:
+        time_dim = schema.time_dimension()
+        if time_dim is None:
+            return (None, None)
+        lo, hi = query.interval(schema.attributes[time_dim].name)
+        return (lo, hi)
+
+    def _version_segments(
+        self, state: IndexState, t_lo: Optional[float], t_hi: Optional[float]
+    ) -> List[Tuple[int, Optional[float], Optional[float]]]:
+        """(version index, segment lo, segment hi) per version the query hits."""
+        versions = state.versions.versions
+        if state.schema.time_dimension() is None:
+            return [(len(versions) - 1, t_lo, t_hi)]
+        lo = float("-inf") if t_lo is None else t_lo
+        hi = float("inf") if t_hi is None else t_hi
+        segments = []
+        for i, (valid_from, _) in enumerate(versions):
+            valid_to = versions[i + 1][0] if i + 1 < len(versions) else float("inf")
+            seg_lo = max(lo, valid_from)
+            seg_hi = min(hi, valid_to)
+            if seg_lo < seg_hi:
+                segments.append(
+                    (
+                        i,
+                        None if seg_lo == float("-inf") else seg_lo,
+                        None if seg_hi == float("inf") else seg_hi,
+                    )
+                )
+        if not segments:
+            # Degenerate interval: fall back to the version at t_lo.
+            idx = state.versions.version_index_for_time(lo if lo != float("-inf") else self.sim.now)
+            segments = [(idx, t_lo, t_hi)]
+        return segments
+
+    @staticmethod
+    def _clamp_time(rect, schema: IndexSchema, time_dim: Optional[int], seg_lo, seg_hi):
+        """Restrict the rect's time dimension to a version segment."""
+        if time_dim is None:
+            return rect
+        attr = schema.attributes[time_dim]
+        lo, hi = rect[time_dim]
+        if seg_lo is not None:
+            lo = max(lo, attr.normalize(seg_lo))
+        if seg_hi is not None and seg_hi < attr.hi:
+            hi = min(hi, attr.normalize(seg_hi))
+        return rect[:time_dim] + ((lo, hi),) + rect[time_dim + 1 :]
+
+    def _query_timed_out(self, op_id: str) -> None:
+        op = self._query_ops.get(op_id)
+        if op is not None and not op.done:
+            op.failed_regions.add("timeout")
+            self._finish_query(op)
+
+    def _finish_query(self, op: _QueryOp) -> None:
+        op.done = True
+        self._query_ops.pop(op.metric.op_id, None)
+        if op.timeout_event is not None:
+            op.timeout_event.cancel()
+        op.metric.end = self.sim.now
+        op.metric.records = len(op.records)
+        op.metric.record_keys = set(op.records)
+        op.metric.results = list(op.records.values())
+        op.metric.complete = not op.failed_regions and not op.pending
+        op.metric.nodes_visited.discard(self.address)
+        if op.callback is not None:
+            op.callback(op.metric)
+
+    def query_results(self, op_id: str) -> List[Record]:
+        """Records accumulated so far for an in-flight query."""
+        op = self._query_ops.get(op_id)
+        if op is None:
+            raise KeyError(f"no in-flight query {op_id}")
+        return list(op.records.values())
+
+    def _arrive_subquery(self, envelope: Dict[str, Any]) -> None:
+        inner = envelope["inner"]
+        region = Code(envelope["target"])
+        state = self.indices.get(inner["index"])
+        if state is None:
+            self.on_route_failed(envelope, "no-such-index")
+            return
+
+        version_idx = min(inner["version"], len(state.versions.versions) - 1)
+        embedding = state.versions.versions[version_idx][1]
+        qrect = tuple((lo, hi) for lo, hi in inner["rect"])
+        own = self._owned_region_for(region)
+
+        spawned: List[str] = []
+        if own is not None and len(own) > len(region):
+            # This node owns a sub-region of the addressed region: split the
+            # remainder into complement cells and route each as its own
+            # sub-query (the paper's query splitting at the first abutting
+            # node).
+            answer_region = own
+            for i in range(len(region), len(own)):
+                cell = own.prefix(i + 1).flip(i)
+                cell_rect = embedding.region_rect(cell)
+                if rect_intersection(cell_rect, qrect) is not None:
+                    spawned.append(cell.bits)
+                    sub_env_inner = dict(inner)
+                    self.route(
+                        cell,
+                        "subquery",
+                        sub_env_inner,
+                        op_id=("sub", inner["qid"], inner["version"], cell.bits),
+                        origin=envelope["origin"],
+                    )
+        else:
+            answer_region = region
+
+        time_range = inner.get("time_range")
+        t_range = None
+        if time_range and time_range[0] is not None and time_range[1] is not None:
+            t_range = (time_range[0], time_range[1])
+        # Answer from the whole local store, exactly as the prototype's DAC
+        # ran the query predicate against its local MySQL: this returns
+        # resident replicas and not-yet-migrated data too.  The originator
+        # deduplicates by record key, and failed-over regions are served
+        # from whichever replica holder the sub-query lands on.
+        matches = state.store.query(qrect, t_range)
+        state.dac.submit(
+            state.dac.query_cost(len(matches)),
+            self._after_query_dac,
+            envelope,
+            spawned,
+            matches,
+            qrect,
+            t_range,
+        )
+
+    def _after_query_dac(
+        self,
+        envelope: Dict[str, Any],
+        spawned: List[str],
+        matches: List[Record],
+        effective,
+        t_range,
+    ) -> None:
+        if not self.in_overlay():
+            return
+        pointer = self.sibling_pointer
+        if pointer is not None and pointer.live(self.sim.now):
+            # Pre-split data for our region still lives at the split host;
+            # fetch it before responding (Section 3.4's sibling pointer).
+            fetch_id = self._next_op_id()
+            self._sibling_fetches[fetch_id] = {
+                "envelope": envelope,
+                "spawned": spawned,
+                "matches": {r.key: r for r in matches},
+            }
+
+            def fetch_failed(msg, reason, _fid=fetch_id):
+                pending = self._sibling_fetches.pop(_fid, None)
+                if pending is not None:
+                    self._respond_query(
+                        pending["envelope"], pending["spawned"], list(pending["matches"].values())
+                    )
+
+            self._send(
+                pointer.sibling,
+                "sibling_fetch",
+                {
+                    "fetch_id": fetch_id,
+                    "index": envelope["inner"]["index"],
+                    "rect": [list(side) for side in effective],
+                    "time_range": list(t_range) if t_range else None,
+                },
+                on_fail=fetch_failed,
+            )
+            return
+        self._respond_query(envelope, spawned, matches)
+
+    def _on_sibling_fetch(self, msg: Message) -> None:
+        payload = msg.payload
+        state = self.indices.get(payload["index"])
+        if state is None:
+            self._send(msg.src, "sibling_data", {"fetch_id": payload["fetch_id"], "records": []})
+            return
+        rect = tuple((lo, hi) for lo, hi in payload["rect"])
+        t_range = tuple(payload["time_range"]) if payload["time_range"] else None
+        matches = state.store.query(rect, t_range)
+        state.dac.submit(
+            state.dac.query_cost(len(matches)),
+            self._send,
+            msg.src,
+            "sibling_data",
+            {
+                "fetch_id": payload["fetch_id"],
+                "records": [r.to_wire() for r in matches],
+            },
+            self.mind_config.response_base_bytes
+            + self.mind_config.record_wire_bytes * len(matches),
+        )
+
+    def _on_sibling_data(self, msg: Message) -> None:
+        pending = self._sibling_fetches.pop(msg.payload["fetch_id"], None)
+        if pending is None:
+            return
+        for wire in msg.payload["records"]:
+            record = Record.from_wire(wire)
+            pending["matches"][record.key] = record
+        self._respond_query(
+            pending["envelope"], pending["spawned"], list(pending["matches"].values())
+        )
+
+    def _respond_query(self, envelope: Dict[str, Any], spawned: List[str], matches: List[Record]) -> None:
+        origin = envelope["origin"]
+        payload = {
+            "qid": envelope["inner"]["qid"],
+            "version": envelope["inner"]["version"],
+            "region": envelope["target"],
+            "spawned": spawned,
+            "records": [r.to_wire() for r in matches],
+            "path": envelope["path"],
+            "responder": self.address,
+        }
+        size = self.mind_config.response_base_bytes + self.mind_config.record_wire_bytes * len(matches)
+        if origin == self.address:
+            self._apply_query_response(payload)
+        else:
+            def response_failed(msg, reason, _origin=origin, _payload=payload):
+                # The paper saw exactly this: responders unable to reach the
+                # originator during routing outages retry the direct
+                # connection (Figure 11's spikes).  Retry until the op ages
+                # out at the originator.
+                self._send(_origin, "query_response", _payload, on_fail=response_failed)
+
+            self._send(origin, "query_response", payload, size_bytes=size, on_fail=response_failed)
+
+    def _on_query_response(self, msg: Message) -> None:
+        self._apply_query_response(msg.payload)
+
+    def _apply_query_response(self, payload: Dict[str, Any]) -> None:
+        op = self._query_ops.get(payload["qid"])
+        if op is None or op.done:
+            return
+        version = payload.get("version", 0)
+        region = f"{version}:{payload['region']}"
+        op.metric.nodes_visited.update(payload["path"])
+        op.metric.nodes_visited.add(payload["responder"])
+        for wire in payload["records"]:
+            record = Record.from_wire(wire)
+            if op.query.matches(self._state(op.query.index).schema, record):
+                op.records[record.key] = record
+        if region not in op.answered:
+            # Responses can arrive out of order (a child sub-query may beat
+            # the parent that spawned it), so track answered regions and
+            # only add spawned regions not yet accounted for.
+            op.answered.add(region)
+            op.pending.discard(region)
+            for spawned in payload["spawned"]:
+                key = f"{version}:{spawned}"
+                if key not in op.answered:
+                    op.pending.add(key)
+            op.metric.regions += 1
+        if not op.pending:
+            self._finish_query(op)
+
+    def _owned_region_for(self, region: Code) -> Optional[Code]:
+        """The owned region code comparable with ``region``, if any."""
+        candidates = []
+        if self.code is not None and self.code.comparable(region):
+            candidates.append(self.code)
+        for adopted in self.adopted:
+            if adopted.comparable(region):
+                candidates.append(adopted)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda c: (c.common_prefix_len(region), -len(c)))
+
+    # ==================================================================
+    # Triggers — continuous queries (Section 2's footnote extension)
+    # ==================================================================
+    def create_trigger(
+        self,
+        query: RangeQuery,
+        callback: Callable[[Record], None],
+        expires_at: Optional[float] = None,
+        installed: Optional[Callable[[bool], None]] = None,
+    ) -> str:
+        """Register a standing query; ``callback`` fires per matching insert.
+
+        Registration routes like a query: it reaches every node whose
+        region intersects the trigger's hyper-rectangle.  ``installed``
+        (if given) is called with True once every region acknowledged, or
+        False if part of the registration failed.
+        """
+        state = self._state(query.index)
+        trigger = Trigger(
+            trigger_id=new_trigger_id(self.address),
+            query=query,
+            subscriber=self.address,
+            expires_at=expires_at,
+        )
+        self._trigger_subs[trigger.trigger_id] = callback
+
+        rect = query.normalized_rect(state.schema)
+        version_idx = len(state.versions.versions) - 1
+        embedding = state.versions.latest()
+        prefix = embedding.query_prefix(rect)
+        reg_id = self._next_op_id()
+        self._trigger_regs[reg_id] = {
+            "pending": {prefix.bits},
+            "answered": set(),
+            "failed": False,
+            "installed": installed,
+            "trigger_id": trigger.trigger_id,
+        }
+        inner = {
+            "index": query.index,
+            "reg_id": reg_id,
+            "rect": [list(side) for side in rect],
+            "version": version_idx,
+            "trigger": trigger.to_wire(),
+        }
+        self.route(prefix, "trigger_install", inner, op_id=("trig", reg_id, prefix.bits))
+        return trigger.trigger_id
+
+    def drop_trigger(self, index: str, trigger_id: str) -> None:
+        """Remove a trigger everywhere (flooded, like index drops)."""
+        self._trigger_subs.pop(trigger_id, None)
+        self.trigger_table.remove(index, trigger_id)
+        self._flood(
+            "trigger_drop", {"index": index, "trigger_id": trigger_id},
+            ("trigdrop", trigger_id),
+        )
+
+    def _arrive_trigger_install(self, envelope: Dict[str, Any]) -> None:
+        inner = envelope["inner"]
+        region = Code(envelope["target"])
+        state = self.indices.get(inner["index"])
+        if state is None:
+            self.on_route_failed(envelope, "no-such-index")
+            return
+        version_idx = min(inner["version"], len(state.versions.versions) - 1)
+        embedding = state.versions.versions[version_idx][1]
+        qrect = tuple((lo, hi) for lo, hi in inner["rect"])
+        own = self._owned_region_for(region)
+
+        spawned: List[str] = []
+        if own is not None and len(own) > len(region):
+            for i in range(len(region), len(own)):
+                cell = own.prefix(i + 1).flip(i)
+                if rect_intersection(embedding.region_rect(cell), qrect) is not None:
+                    spawned.append(cell.bits)
+                    self.route(
+                        cell,
+                        "trigger_install",
+                        dict(inner),
+                        op_id=("trig", inner["reg_id"], cell.bits),
+                        origin=envelope["origin"],
+                    )
+        self.trigger_table.install(inner["index"], Trigger.from_wire(inner["trigger"]))
+        ack = {"reg_id": inner["reg_id"], "region": envelope["target"], "spawned": spawned}
+        if envelope["origin"] == self.address:
+            self._apply_trigger_installed(ack)
+        else:
+            self._send(envelope["origin"], "trigger_installed", ack)
+
+    def _on_trigger_installed(self, msg: Message) -> None:
+        self._apply_trigger_installed(msg.payload)
+
+    def _apply_trigger_installed(self, payload: Dict[str, Any]) -> None:
+        reg = self._trigger_regs.get(payload["reg_id"])
+        if reg is None:
+            return
+        region = payload["region"]
+        if region not in reg["answered"]:
+            reg["answered"].add(region)
+            reg["pending"].discard(region)
+            for spawned in payload["spawned"]:
+                if spawned not in reg["answered"]:
+                    reg["pending"].add(spawned)
+        if not reg["pending"]:
+            self._finish_trigger_registration(payload["reg_id"])
+
+    def _finish_trigger_registration(self, reg_id: str) -> None:
+        reg = self._trigger_regs.pop(reg_id, None)
+        if reg is None:
+            return
+        if reg["installed"] is not None:
+            reg["installed"](not reg["failed"])
+
+    def _fire_triggers(self, state: IndexState, record: Record) -> None:
+        matches = self.trigger_table.matching(
+            state.schema.name, state.schema, record, self.sim.now
+        )
+        for trigger in matches:
+            self.triggers_fired += 1
+            payload = {
+                "trigger_id": trigger.trigger_id,
+                "index": state.schema.name,
+                "record": record.to_wire(),
+            }
+            if trigger.subscriber == self.address:
+                self._deliver_trigger_fire(payload)
+            else:
+                self._send(
+                    trigger.subscriber,
+                    "trigger_fire",
+                    payload,
+                    size_bytes=self.mind_config.record_wire_bytes,
+                )
+
+    def _on_trigger_fire(self, msg: Message) -> None:
+        self._deliver_trigger_fire(msg.payload)
+
+    def _deliver_trigger_fire(self, payload: Dict[str, Any]) -> None:
+        callback = self._trigger_subs.get(payload["trigger_id"])
+        if callback is not None:
+            callback(Record.from_wire(payload["record"]))
+
+    def _on_trigger_drop(self, msg: Message) -> None:
+        payload = msg.payload
+        key = ("trigdrop", payload["trigger_id"])
+        if key in self._seen_floods:
+            return
+        self.trigger_table.remove(payload["index"], payload["trigger_id"])
+        self._flood("trigger_drop", payload, key)
+
+    # ==================================================================
+    # On-line histogram collection (Section 3.7's planned extension)
+    # ==================================================================
+    def collect_histogram(
+        self,
+        index: str,
+        granularity: int,
+        time_range: Tuple[float, float],
+        expected_replies: int,
+        callback: Callable[[MultiDimHistogram], None],
+        timeout_s: float = 60.0,
+    ) -> str:
+        """Aggregate a data-distribution histogram from every node.
+
+        The designated collector (this node) floods a request; every node
+        histograms its local records for the index/time range and replies
+        directly.  ``callback`` fires with the merged histogram once
+        ``expected_replies`` arrive or the timeout expires.
+        """
+        state = self._state(index)
+        req_id = self._next_op_id()
+        merged = MultiDimHistogram(state.schema.dimensions, granularity)
+        collection = {
+            "merged": merged,
+            "replies": 0,
+            "expected": expected_replies,
+            "callback": callback,
+            "done": False,
+        }
+        self._histo_collections[req_id] = collection
+        payload = {
+            "req_id": req_id,
+            "index": index,
+            "granularity": granularity,
+            "time_range": list(time_range),
+            "collector": self.address,
+        }
+        self._flood("histo_request", payload, ("histo", req_id))
+        self._histo_reply_local(payload)
+        self.sim.schedule(timeout_s, self._histo_finish, req_id)
+        return req_id
+
+    def _local_histogram(self, index: str, granularity: int, time_range) -> MultiDimHistogram:
+        state = self._state(index)
+        hist = MultiDimHistogram(state.schema.dimensions, granularity)
+        lo, hi = time_range
+        time_dim = state.schema.time_dimension()
+        for record in state.store.all_records():
+            if time_dim is not None:
+                t = record.values[time_dim]
+                if not lo <= t < hi:
+                    continue
+            hist.add(state.schema.normalize(record.values))
+        return hist
+
+    def _on_histo_request(self, msg: Message) -> None:
+        payload = msg.payload
+        key = ("histo", payload["req_id"])
+        if key in self._seen_floods:
+            return
+        self._flood("histo_request", payload, key)
+        self._histo_reply_local(payload)
+
+    def _histo_reply_local(self, payload: Dict[str, Any]) -> None:
+        if payload["index"] not in self.indices:
+            return
+        hist = self._local_histogram(payload["index"], payload["granularity"], payload["time_range"])
+        reply = {"req_id": payload["req_id"], "histogram": hist.to_wire()}
+        if payload["collector"] == self.address:
+            self._merge_histo_reply(reply)
+        else:
+            self._send(
+                payload["collector"],
+                "histo_reply",
+                reply,
+                size_bytes=200 + 16 * hist.occupied_cells,
+            )
+
+    def _on_histo_reply(self, msg: Message) -> None:
+        self._merge_histo_reply(msg.payload)
+
+    def _merge_histo_reply(self, payload: Dict[str, Any]) -> None:
+        collection = self._histo_collections.get(payload["req_id"])
+        if collection is None or collection["done"]:
+            return
+        collection["merged"].merge(MultiDimHistogram.from_wire(payload["histogram"]))
+        collection["replies"] += 1
+        if collection["replies"] >= collection["expected"]:
+            self._histo_finish(payload["req_id"])
+
+    def _histo_finish(self, req_id: str) -> None:
+        collection = self._histo_collections.pop(req_id, None)
+        if collection is None or collection["done"]:
+            return
+        collection["done"] = True
+        collection["callback"](collection["merged"])

@@ -1,0 +1,116 @@
+"""Multi-dimensional range queries (hyper-rectangles in attribute space).
+
+A query gives a ``[lo, hi)`` interval per indexed attribute; ``None`` on
+either side means unbounded on that side (a fully ``(None, None)`` dimension
+is the paper's wildcard).  Queries operate in raw attribute units; the
+embedding converts them to normalized rectangles.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.records import Record
+from repro.core.schema import IndexSchema
+
+Bound = Optional[float]
+Interval = Tuple[Bound, Bound]
+#: A normalized rectangle: per-dimension [lo, hi) within [0, 1].
+NormRect = Tuple[Tuple[float, float], ...]
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A hyper-rectangle over an index's attribute space.
+
+    Example: the paper's alpha-flow query on Index-2 — *all flows destined
+    for D carrying at least O octets within period T* — is::
+
+        RangeQuery("index2", {
+            "dest_prefix": (d_lo, d_hi),
+            "timestamp": (t0, t0 + 300),
+            "octets": (4_000_000, None),
+        })
+    """
+
+    index: str
+    ranges: Tuple[Tuple[str, Interval], ...]
+
+    def __init__(self, index: str, ranges: Dict[str, Interval]) -> None:
+        object.__setattr__(self, "index", index)
+        object.__setattr__(self, "ranges", tuple(sorted(ranges.items())))
+
+    def interval(self, attribute: str) -> Interval:
+        for name, iv in self.ranges:
+            if name == attribute:
+                return iv
+        return (None, None)
+
+    def intervals_for(self, schema: IndexSchema) -> List[Interval]:
+        """Per-dimension intervals in schema attribute order."""
+        known = set(schema.attribute_names)
+        for name, _ in self.ranges:
+            if name not in known:
+                raise KeyError(f"query names unknown attribute {name!r} of index {schema.name}")
+        return [self.interval(a) for a in schema.attribute_names]
+
+    def matches(self, schema: IndexSchema, record: Record) -> bool:
+        """Does a record fall inside this query's hyper-rectangle?
+
+        Evaluated in normalized coordinates so that every layer — local
+        stores, embeddings, ground-truth evaluation — agrees exactly,
+        including for out-of-domain values clamped to the top of the
+        range.
+        """
+        rect = self.normalized_rect(schema)
+        return rect_contains_point(rect, schema.normalize(record.values))
+
+    def normalized_rect(self, schema: IndexSchema) -> NormRect:
+        """The query as a normalized rectangle (closed at 1.0 on top).
+
+        Unbounded sides extend to the domain edge.  An upper bound at or
+        beyond the attribute domain maps to 1.0 so that clamped top-of-range
+        records still match.
+        """
+        rect = []
+        for attr, (lo, hi) in zip(schema.attributes, self.intervals_for(schema)):
+            n_lo = 0.0 if lo is None else attr.normalize(lo)
+            if hi is None or hi >= attr.hi:
+                n_hi = 1.0
+            else:
+                n_hi = attr.normalize(hi)
+            if n_hi < n_lo:
+                n_hi = n_lo
+            rect.append((n_lo, n_hi))
+        return tuple(rect)
+
+    def to_wire(self) -> Dict:
+        return {"index": self.index, "ranges": {k: list(v) for k, v in self.ranges}}
+
+    @classmethod
+    def from_wire(cls, data: Dict) -> "RangeQuery":
+        return cls(data["index"], {k: (v[0], v[1]) for k, v in data["ranges"].items()})
+
+
+def rect_intersection(a: NormRect, b: NormRect) -> Optional[NormRect]:
+    """Intersection of two normalized rectangles, or ``None`` if empty."""
+    out = []
+    for (alo, ahi), (blo, bhi) in zip(a, b):
+        lo, hi = max(alo, blo), min(ahi, bhi)
+        if hi <= lo:
+            return None
+        out.append((lo, hi))
+    return tuple(out)
+
+
+def rect_contains_point(rect: NormRect, point: Sequence[float]) -> bool:
+    """Is a normalized point inside the rectangle (half-open, closed at 1)?"""
+    for (lo, hi), x in zip(rect, point):
+        if x < lo:
+            return False
+        if x >= hi and not (hi >= 1.0 and x < 1.0):
+            return False
+    return True
+
+
+def full_rect(dimensions: int) -> NormRect:
+    return tuple((0.0, 1.0) for _ in range(dimensions))

@@ -1,0 +1,43 @@
+"""Data records inserted into MIND indices."""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence, Tuple
+
+_RECORD_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Record:
+    """One multi-dimensional data item.
+
+    ``values`` are the indexed attribute values in schema order; ``payload``
+    carries the non-indexed attributes (e.g. source prefix, monitor node).
+    ``key`` uniquely identifies the record across primaries and replicas, so
+    result sets can be compared for recall and deduplicated.
+    """
+
+    values: Tuple[float, ...]
+    payload: Dict[str, Any] = field(default_factory=dict)
+    key: int = field(default_factory=lambda: next(_RECORD_IDS))
+
+    def __init__(self, values: Sequence[float], payload: Dict[str, Any] = None, key: int = None) -> None:
+        object.__setattr__(self, "values", tuple(values))
+        object.__setattr__(self, "payload", dict(payload or {}))
+        object.__setattr__(self, "key", next(_RECORD_IDS) if key is None else key)
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Record) and self.key == other.key
+
+    def value(self, dim: int) -> float:
+        return self.values[dim]
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"values": list(self.values), "payload": self.payload, "key": self.key}
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "Record":
+        return cls(values=data["values"], payload=data["payload"], key=data["key"])

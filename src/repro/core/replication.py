@@ -1,0 +1,33 @@
+"""Replica placement on hypercube neighbors (Section 3.8).
+
+For a storing node with code of length k and replication level m, replicas
+go to the neighbors sharing code prefixes of length k-1, k-2, ..., k-m —
+i.e. across dimensions k-1 down to k-m.  Those are exactly the nodes that
+take over the region after failures, so failover to replicas is transparent:
+the paper's example is node ``000000`` with m=3 replicating to ``000001``,
+``000010`` and ``000100``.
+"""
+
+from typing import List
+
+from repro.overlay.code import Code
+
+#: Replicate on every hypercube neighbor ("full" in the paper's Figure 16).
+FULL_REPLICATION = -1
+
+
+def replica_targets(code: Code, level: int) -> List[Code]:
+    """Target region codes for the given replication level.
+
+    ``level`` 0 means no replication; :data:`FULL_REPLICATION` replicates
+    across every dimension of the node's code.  The usable level is capped
+    at the code length.
+    """
+    k = len(code)
+    if level == FULL_REPLICATION:
+        m = k
+    elif level < 0:
+        raise ValueError(f"invalid replication level {level}")
+    else:
+        m = min(level, k)
+    return [code.flip(k - 1 - j) for j in range(m)]

@@ -1,0 +1,134 @@
+"""Index schemas: which attributes are indexed and how they normalize.
+
+An index is declared over *k* indexed attributes (the dimensions of the
+data space) plus any number of payload attributes carried along but not
+indexed (the paper's Index-1, for instance, indexes
+``(dest_prefix, timestamp, fanout)`` and carries ``source_prefix`` and
+``node`` as payload).
+
+Every indexed attribute declares a value domain ``[lo, hi)``.  Values are
+normalized linearly into ``[0, 1)`` for the data-space embedding; values at
+or beyond ``hi`` are assigned the top of the range, mirroring the paper's
+treatment of the <0.1% of tuples exceeding the configured attribute bound
+("we assigned them the largest possible range").
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_EPSILON = 1e-9
+#: Normalized stand-in for "at or above the attribute upper bound".
+_TOP = 1.0 - _EPSILON
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One indexed attribute with its value domain.
+
+    ``is_time`` marks the timestamp attribute, which the per-node store
+    uses for time partitioning and the versioned embedding uses to select
+    the right daily cut tree.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    is_time: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.hi > self.lo:
+            raise ValueError(f"attribute {self.name}: need hi > lo, got [{self.lo}, {self.hi})")
+
+    def normalize(self, value: float) -> float:
+        """Map a raw value into [0, 1), clamping out-of-domain values."""
+        x = (value - self.lo) / (self.hi - self.lo)
+        if x < 0.0:
+            return 0.0
+        if x >= 1.0:
+            return _TOP
+        return x
+
+    def denormalize(self, x: float) -> float:
+        """Map a normalized coordinate back to the raw domain."""
+        return self.lo + x * (self.hi - self.lo)
+
+
+@dataclass(frozen=True)
+class IndexSchema:
+    """Schema of one MIND index.
+
+    Parameters
+    ----------
+    name:
+        Globally unique index tag (the paper's ``create_index`` takes an
+        XML schema with a unique tag; we use typed Python objects).
+    attributes:
+        The indexed dimensions, in order.
+    payload_names:
+        Non-indexed attributes stored with each record.
+    """
+
+    name: str
+    attributes: Tuple[AttributeSpec, ...]
+    payload_names: Tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[AttributeSpec],
+        payload_names: Sequence[str] = (),
+    ) -> None:
+        if not name:
+            raise ValueError("index name must be non-empty")
+        if not attributes:
+            raise ValueError("an index needs at least one attribute")
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in {name}: {names}")
+        if sum(1 for a in attributes if a.is_time) > 1:
+            raise ValueError("at most one attribute may be marked is_time")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", tuple(attributes))
+        object.__setattr__(self, "payload_names", tuple(payload_names))
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return [a.name for a in self.attributes]
+
+    def time_dimension(self) -> Optional[int]:
+        """Index of the timestamp attribute, or ``None``."""
+        for i, attr in enumerate(self.attributes):
+            if attr.is_time:
+                return i
+        return None
+
+    def normalize(self, values: Sequence[float]) -> Tuple[float, ...]:
+        """Normalize a full coordinate vector into [0, 1)^k."""
+        if len(values) != self.dimensions:
+            raise ValueError(
+                f"index {self.name} expects {self.dimensions} values, got {len(values)}"
+            )
+        return tuple(attr.normalize(v) for attr, v in zip(self.attributes, values))
+
+    def to_wire(self) -> Dict:
+        """Schema as plain data, as flooded in ``create_index`` messages."""
+        return {
+            "name": self.name,
+            "attributes": [
+                {"name": a.name, "lo": a.lo, "hi": a.hi, "is_time": a.is_time}
+                for a in self.attributes
+            ],
+            "payload_names": list(self.payload_names),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict) -> "IndexSchema":
+        return cls(
+            name=data["name"],
+            attributes=[AttributeSpec(**a) for a in data["attributes"]],
+            payload_names=data["payload_names"],
+        )

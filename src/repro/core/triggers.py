@@ -1,0 +1,101 @@
+"""Continuous queries ("triggers") over MIND indices.
+
+The paper notes (Section 2, footnote) that triggers are supported "with
+minor mechanistic modifications" to the query path.  This module provides
+those mechanics:
+
+* a trigger is a standing :class:`~repro.core.query.RangeQuery` plus a
+  subscriber address and an optional expiry;
+* registration routes exactly like a query — to the prefix region, split
+  into sub-registrations at region boundaries — so every node whose region
+  intersects the trigger's hyper-rectangle ends up holding it;
+* at insert time the storing node matches the new record against its
+  resident triggers and notifies subscribers directly;
+* triggers ride along in the join state transfer, so region hand-offs keep
+  coverage.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.query import RangeQuery
+
+_TRIGGER_IDS = itertools.count(1)
+
+
+@dataclass
+class Trigger:
+    """A standing query owned by a subscriber node."""
+
+    trigger_id: str
+    query: RangeQuery
+    subscriber: str
+    expires_at: Optional[float] = None
+
+    def live(self, now: float) -> bool:
+        return self.expires_at is None or now < self.expires_at
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "trigger_id": self.trigger_id,
+            "query": self.query.to_wire(),
+            "subscriber": self.subscriber,
+            "expires_at": self.expires_at,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "Trigger":
+        return cls(
+            trigger_id=data["trigger_id"],
+            query=RangeQuery.from_wire(data["query"]),
+            subscriber=data["subscriber"],
+            expires_at=data["expires_at"],
+        )
+
+
+def new_trigger_id(owner: str) -> str:
+    return f"trig:{owner}:{next(_TRIGGER_IDS)}"
+
+
+@dataclass
+class TriggerTable:
+    """Per-node set of resident triggers, keyed by index name."""
+
+    by_index: Dict[str, Dict[str, Trigger]] = field(default_factory=dict)
+
+    def install(self, index: str, trigger: Trigger) -> bool:
+        """Returns False when the trigger was already resident."""
+        table = self.by_index.setdefault(index, {})
+        if trigger.trigger_id in table:
+            return False
+        table[trigger.trigger_id] = trigger
+        return True
+
+    def remove(self, index: str, trigger_id: str) -> None:
+        self.by_index.get(index, {}).pop(trigger_id, None)
+
+    def matching(self, index: str, schema, record, now: float):
+        """Live triggers on ``index`` whose query matches ``record``."""
+        out = []
+        expired = []
+        for trigger in self.by_index.get(index, {}).values():
+            if not trigger.live(now):
+                expired.append(trigger.trigger_id)
+            elif trigger.query.matches(schema, record):
+                out.append(trigger)
+        for trigger_id in expired:
+            self.remove(index, trigger_id)
+        return out
+
+    def all_wire(self):
+        return [
+            {"index": index, "trigger": trigger.to_wire()}
+            for index, table in self.by_index.items()
+            for trigger in table.values()
+        ]
+
+    def count(self, index: Optional[str] = None) -> int:
+        if index is not None:
+            return len(self.by_index.get(index, {}))
+        return sum(len(t) for t in self.by_index.values())

@@ -1,0 +1,88 @@
+"""Daily index versions (Section 3.7).
+
+MIND never migrates historical data to rebalance.  Instead each index keeps
+*versions*: the histogram collected on day *i* defines the balanced cuts
+used to store day *i+1*'s data.  A record's timestamp selects the version
+it is stored under, and a query's time interval selects the version(s) it
+must consult — "the relevant index versions ... will be evident from the
+query itself".
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.core.embedding import Embedding
+
+
+class VersionedEmbedding:
+    """An ordered set of embeddings, each valid from a point in time."""
+
+    def __init__(self, initial: Embedding) -> None:
+        #: (valid_from, embedding), sorted ascending; the first entry covers
+        #: all earlier times.
+        self._versions: List[Tuple[float, Embedding]] = [(float("-inf"), initial)]
+
+    @property
+    def versions(self) -> List[Tuple[float, Embedding]]:
+        return list(self._versions)
+
+    def install(self, valid_from: float, embedding: Embedding) -> None:
+        """Add a version taking effect at ``valid_from`` (e.g. midnight)."""
+        for existing_from, _ in self._versions:
+            if existing_from == valid_from:
+                raise ValueError(f"version already installed at t={valid_from}")
+        self._versions.append((valid_from, embedding))
+        self._versions.sort(key=lambda pair: pair[0])
+
+    def for_time(self, t: float) -> Embedding:
+        """The embedding in force at time ``t``."""
+        chosen = self._versions[0][1]
+        for valid_from, embedding in self._versions:
+            if valid_from <= t:
+                chosen = embedding
+            else:
+                break
+        return chosen
+
+    def version_index_for_time(self, t: float) -> int:
+        """Position of the version in force at ``t`` (for wire references)."""
+        chosen = 0
+        for i, (valid_from, _) in enumerate(self._versions):
+            if valid_from <= t:
+                chosen = i
+            else:
+                break
+        return chosen
+
+    def latest(self) -> Embedding:
+        return self._versions[-1][1]
+
+    def retire_before(self, cutoff: float) -> int:
+        """Drop versions wholly superseded before ``cutoff``.
+
+        A version is droppable when the *next* version took effect at or
+        before the cutoff (so no record or query with time >= cutoff can
+        select it).  The newest version is always kept.  Returns how many
+        versions were removed — the "version storage management" the paper
+        defers to future work.
+        """
+        removed = 0
+        while len(self._versions) > 1 and self._versions[1][0] <= cutoff:
+            self._versions.pop(0)
+            removed += 1
+        return removed
+
+    def to_wire(self) -> List[Dict]:
+        return [
+            {"valid_from": valid_from, "embedding": emb.to_wire()}
+            for valid_from, emb in self._versions
+        ]
+
+    @classmethod
+    def from_wire(cls, data: List[Dict]) -> "VersionedEmbedding":
+        if not data:
+            raise ValueError("empty version list")
+        first = Embedding.from_wire(data[0]["embedding"])
+        versioned = cls(first)
+        versioned._versions = [(d["valid_from"], Embedding.from_wire(d["embedding"])) for d in data]
+        versioned._versions.sort(key=lambda pair: pair[0])
+        return versioned

@@ -1,0 +1,38 @@
+"""Simulated wide-area network substrate.
+
+This package stands in for the paper's PlanetLab testbed.  It provides:
+
+* real backbone router sites with coordinates (Abilene, GÉANT) and synthetic
+  PlanetLab-like site sets for larger deployments,
+* a latency model combining great-circle propagation, per-link jitter and
+  occasional PlanetLab-style pathological delays,
+* a message-passing network with per-link FIFO transmission queues and
+  bandwidth serialization, and
+* a failure injector for transient link outages and node crash/rejoin churn.
+"""
+
+from repro.net.failures import FailureInjector
+from repro.net.latency import LatencyModel, great_circle_km
+from repro.net.message import Message
+from repro.net.network import LinkStats, SimNetwork
+from repro.net.topology import (
+    ABILENE_SITES,
+    GEANT_SITES,
+    Site,
+    backbone_sites,
+    synthetic_planetlab_sites,
+)
+
+__all__ = [
+    "ABILENE_SITES",
+    "GEANT_SITES",
+    "FailureInjector",
+    "LatencyModel",
+    "LinkStats",
+    "Message",
+    "SimNetwork",
+    "Site",
+    "backbone_sites",
+    "great_circle_km",
+    "synthetic_planetlab_sites",
+]

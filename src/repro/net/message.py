@@ -1,0 +1,48 @@
+"""Message framing for the simulated network.
+
+A :class:`Message` is what travels between node endpoints.  The ``kind``
+string dispatches to a handler at the receiving node; ``payload`` carries
+arbitrary structured data (kept as plain Python objects — the simulation
+never serializes, but ``size_bytes`` models what serialization would cost
+on the wire).
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+_MESSAGE_IDS = itertools.count(1)
+
+#: Nominal wire overhead of a framed message (headers), in bytes.
+HEADER_BYTES = 64
+
+
+@dataclass
+class Message:
+    """A single overlay message.
+
+    Attributes
+    ----------
+    src, dst:
+        Network addresses (opaque strings) of the endpoints.
+    kind:
+        Handler-dispatch tag, e.g. ``"insert"`` or ``"join_request"``.
+    payload:
+        Structured message body.
+    size_bytes:
+        Modeled wire size, used for bandwidth serialization on links.
+    msg_id:
+        Unique id, handy for tracing and matching requests to replies.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size_bytes: int = 256
+    msg_id: int = field(default_factory=lambda: next(_MESSAGE_IDS))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        self.size_bytes += HEADER_BYTES

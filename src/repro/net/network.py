@@ -1,0 +1,203 @@
+"""Message-passing network with per-link queues and failure awareness.
+
+The network delivers :class:`~repro.net.message.Message` objects between
+registered endpoints.  Each directed link serializes transmissions at a
+configurable bandwidth (producing the queuing hotspots behind the paper's
+Figure 8), adds a sampled one-way latency, and honours link/node failure
+state injected by :class:`~repro.net.failures.FailureInjector`.
+
+Semantics mirror TCP as the paper's prototype used it: if the link or the
+destination is down the sender's ``on_fail`` callback fires after a
+detection delay, letting overlay code run its reconnect/re-route logic.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.latency import LatencyModel
+from repro.net.message import Message
+from repro.net.topology import Site
+from repro.sim.kernel import Simulator
+
+DeliverFn = Callable[[Message], None]
+FailFn = Callable[[Message, str], None]
+
+
+@dataclass
+class LinkStats:
+    """Counters and samples for one directed link (``src -> dst``)."""
+
+    tuples: int = 0
+    messages: int = 0
+    bytes: int = 0
+    #: (send_time, total_delay_seconds) samples; populated only when the
+    #: network was created with ``record_link_delays=True``.
+    delay_samples: List[Tuple[float, float]] = field(default_factory=list)
+
+
+class SimNetwork:
+    """Simulated WAN connecting MIND node endpoints.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    sites:
+        Mapping of network address -> :class:`Site`; used by the latency
+        model.  Addresses not present fall back to a default latency.
+    latency_model:
+        Latency sampler; a default PlanetLab-calibrated model if omitted.
+    bandwidth_bps:
+        Per-directed-link bandwidth for transmission-time serialization.
+        PlanetLab slices in 2004 were commonly capped around 10 Mbit/s.
+    fail_detect_s:
+        Time for a sender to learn that a connection attempt failed.
+    record_link_delays:
+        Keep (time, delay) samples per link (Figure 8 / 12 benches).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sites: Dict[str, Site],
+        latency_model: Optional[LatencyModel] = None,
+        bandwidth_bps: float = 10e6,
+        fail_detect_s: float = 1.0,
+        record_link_delays: bool = False,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        self.sim = sim
+        self.sites = dict(sites)
+        self.latency = latency_model or LatencyModel()
+        self.bandwidth_bps = bandwidth_bps
+        self.fail_detect_s = fail_detect_s
+        self.record_link_delays = record_link_delays
+
+        self._endpoints: Dict[str, DeliverFn] = {}
+        self._node_up: Dict[str, bool] = {}
+        self._link_down_until: Dict[Tuple[str, str], float] = {}
+        self._link_busy_until: Dict[Tuple[str, str], float] = {}
+        self.link_stats: Dict[Tuple[str, str], LinkStats] = {}
+        self._rng = sim.rng("net.latency")
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_failed = 0
+
+    # ------------------------------------------------------------------
+    # Registration and failure state
+    # ------------------------------------------------------------------
+    def register(self, address: str, deliver: DeliverFn) -> None:
+        """Attach an endpoint; the address becomes routable and up."""
+        if address in self._endpoints:
+            raise ValueError(f"address already registered: {address}")
+        self._endpoints[address] = deliver
+        self._node_up[address] = True
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+        self._node_up.pop(address, None)
+
+    def set_node_up(self, address: str, up: bool) -> None:
+        if address not in self._endpoints:
+            raise KeyError(f"unknown address: {address}")
+        self._node_up[address] = up
+
+    def is_node_up(self, address: str) -> bool:
+        return self._node_up.get(address, False)
+
+    def set_link_down(self, src: str, dst: str, duration_s: float, bidirectional: bool = True) -> None:
+        """Take the directed link down for ``duration_s`` from now."""
+        until = self.sim.now + duration_s
+        key = (src, dst)
+        self._link_down_until[key] = max(self._link_down_until.get(key, 0.0), until)
+        if bidirectional:
+            rkey = (dst, src)
+            self._link_down_until[rkey] = max(self._link_down_until.get(rkey, 0.0), until)
+
+    def is_link_up(self, src: str, dst: str) -> bool:
+        return self._link_down_until.get((src, dst), 0.0) <= self.sim.now
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        size_bytes: int = 256,
+        tuples: int = 0,
+        on_fail: Optional[FailFn] = None,
+    ) -> Message:
+        """Send a message; returns the in-flight :class:`Message`.
+
+        ``tuples`` counts how many index records the message carries, feeding
+        the per-link traffic accounting of Figure 12.
+        """
+        msg = Message(src=src, dst=dst, kind=kind, payload=payload or {}, size_bytes=size_bytes)
+        self.messages_sent += 1
+
+        if not self._node_up.get(src, False):
+            # A crashed node cannot send; drop silently (its callbacks are
+            # dead anyway once the node object ignores deliveries).
+            self.messages_failed += 1
+            return msg
+
+        if dst not in self._endpoints:
+            self._fail(msg, "unknown-destination", on_fail)
+            return msg
+        if not self.is_link_up(src, dst):
+            self._fail(msg, "link-down", on_fail)
+            return msg
+        if not self._node_up.get(dst, False):
+            self._fail(msg, "peer-down", on_fail)
+            return msg
+
+        key = (src, dst)
+        now = self.sim.now
+        transmission = msg.size_bytes * 8.0 / self.bandwidth_bps
+        start = max(now, self._link_busy_until.get(key, 0.0))
+        self._link_busy_until[key] = start + transmission
+        latency = self._one_way(src, dst)
+        delivery_time = start + transmission + latency
+
+        stats = self.link_stats.get(key)
+        if stats is None:
+            stats = LinkStats()
+            self.link_stats[key] = stats
+        stats.messages += 1
+        stats.bytes += msg.size_bytes
+        stats.tuples += tuples
+        if self.record_link_delays:
+            stats.delay_samples.append((now, delivery_time - now))
+
+        self.sim.schedule_at(delivery_time, self._deliver, msg, on_fail)
+        return msg
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _one_way(self, src: str, dst: str) -> float:
+        site_a = self.sites.get(src)
+        site_b = self.sites.get(dst)
+        if site_a is None or site_b is None or site_a is site_b:
+            # Co-located processes (robustness experiment on a local
+            # cluster): small LAN-ish delay.
+            return 0.0005 + self._rng.random() * 0.0005
+        return self.latency.one_way_s(site_a, site_b, self._rng)
+
+    def _deliver(self, msg: Message, on_fail: Optional[FailFn]) -> None:
+        if not self._node_up.get(msg.dst, False) or msg.dst not in self._endpoints:
+            self._fail(msg, "peer-down", on_fail, immediate=True)
+            return
+        self.messages_delivered += 1
+        self._endpoints[msg.dst](msg)
+
+    def _fail(self, msg: Message, reason: str, on_fail: Optional[FailFn], immediate: bool = False) -> None:
+        self.messages_failed += 1
+        if on_fail is None:
+            return
+        delay = 0.0 if immediate else self.fail_detect_s
+        self.sim.schedule(delay, on_fail, msg, reason)

@@ -1,0 +1,125 @@
+"""Backbone router sites used to place MIND nodes geographically.
+
+The paper deploys MIND instances on PlanetLab machines chosen to be
+geographically close to the routers of the Abilene (11 PoPs, North America)
+and GÉANT (23 PoPs, Europe) backbones, so that overlay links experience the
+propagation delays of a real deployment.  We reproduce that placement with
+the actual PoP cities and coordinates of the two networks circa 2004.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import random
+
+
+@dataclass(frozen=True)
+class Site:
+    """A physical location hosting a MIND node.
+
+    ``network`` records which backbone the site belongs to ("abilene",
+    "geant" or "planetlab" for the synthetic large-scale deployment) and is
+    used by the traffic generator to pick per-network sampling rates.
+    """
+
+    name: str
+    latitude: float
+    longitude: float
+    network: str
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.network})"
+
+
+#: The 11 Abilene backbone PoPs (Internet2, 2004), with the router codes used
+#: by the paper's Figure 17 drill-down example (CHIN, DNVR, IPLS, ...).
+ABILENE_SITES: List[Site] = [
+    Site("ATLA", 33.749, -84.388, "abilene"),    # Atlanta
+    Site("CHIN", 41.878, -87.630, "abilene"),    # Chicago
+    Site("DNVR", 39.739, -104.990, "abilene"),   # Denver
+    Site("HSTN", 29.760, -95.370, "abilene"),    # Houston
+    Site("IPLS", 39.768, -86.158, "abilene"),    # Indianapolis
+    Site("KSCY", 39.100, -94.578, "abilene"),    # Kansas City
+    Site("LOSA", 34.052, -118.244, "abilene"),   # Los Angeles
+    Site("NYCM", 40.713, -74.006, "abilene"),    # New York
+    Site("SNVA", 37.369, -122.036, "abilene"),   # Sunnyvale
+    Site("STTL", 47.606, -122.332, "abilene"),   # Seattle
+    Site("WASH", 38.907, -77.037, "abilene"),    # Washington DC
+]
+
+#: The 23 GÉANT PoPs (one per NREN country, 2004).
+GEANT_SITES: List[Site] = [
+    Site("AT-Vienna", 48.208, 16.373, "geant"),
+    Site("BE-Brussels", 50.850, 4.352, "geant"),
+    Site("CH-Geneva", 46.204, 6.143, "geant"),
+    Site("CY-Nicosia", 35.185, 33.382, "geant"),
+    Site("CZ-Prague", 50.075, 14.437, "geant"),
+    Site("DE-Frankfurt", 50.110, 8.682, "geant"),
+    Site("ES-Madrid", 40.416, -3.703, "geant"),
+    Site("FR-Paris", 48.856, 2.352, "geant"),
+    Site("GR-Athens", 37.983, 23.727, "geant"),
+    Site("HR-Zagreb", 45.815, 15.982, "geant"),
+    Site("HU-Budapest", 47.497, 19.040, "geant"),
+    Site("IE-Dublin", 53.349, -6.260, "geant"),
+    Site("IL-TelAviv", 32.085, 34.781, "geant"),
+    Site("IT-Milan", 45.464, 9.190, "geant"),
+    Site("LU-Luxembourg", 49.611, 6.132, "geant"),
+    Site("NL-Amsterdam", 52.367, 4.904, "geant"),
+    Site("PL-Poznan", 52.406, 16.925, "geant"),
+    Site("PT-Lisbon", 38.722, -9.139, "geant"),
+    Site("SE-Stockholm", 59.329, 18.068, "geant"),
+    Site("SI-Ljubljana", 46.056, 14.505, "geant"),
+    Site("SK-Bratislava", 48.148, 17.107, "geant"),
+    Site("UK-London", 51.507, -0.127, "geant"),
+    Site("RO-Bucharest", 44.426, 26.102, "geant"),
+]
+
+# Bounding boxes used to scatter synthetic PlanetLab sites, roughly covering
+# the continental US and western/central Europe where most 2004 PlanetLab
+# machines lived.
+_REGION_BOXES = {
+    "north-america": (25.0, 49.0, -123.0, -70.0),
+    "europe": (36.0, 60.0, -9.0, 25.0),
+}
+
+
+def backbone_sites() -> List[Site]:
+    """The 34-site deployment of the paper's baseline experiment."""
+    return list(ABILENE_SITES) + list(GEANT_SITES)
+
+
+def synthetic_planetlab_sites(
+    count: int,
+    rng: random.Random,
+    europe_fraction: float = 0.5,
+) -> List[Site]:
+    """Scatter ``count`` synthetic PlanetLab sites over NA and Europe.
+
+    Used for the paper's 102-node large-scale experiment where nodes were
+    "arbitrarily chosen but distributed across North America and Europe".
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    sites = []
+    for i in range(count):
+        region = "europe" if rng.random() < europe_fraction else "north-america"
+        lat_lo, lat_hi, lon_lo, lon_hi = _REGION_BOXES[region]
+        sites.append(
+            Site(
+                name=f"pl{i:03d}-{region[:2]}",
+                latitude=rng.uniform(lat_lo, lat_hi),
+                longitude=rng.uniform(lon_lo, lon_hi),
+                network="planetlab",
+            )
+        )
+    return sites
+
+
+def sites_by_name(sites: Sequence[Site]) -> Dict[str, Site]:
+    """Index a site list by name, rejecting duplicates."""
+    result: Dict[str, Site] = {}
+    for site in sites:
+        if site.name in result:
+            raise ValueError(f"duplicate site name: {site.name}")
+        result[site.name] = site
+    return result

@@ -1,0 +1,131 @@
+"""Per-node view of overlay peers.
+
+A node's *neighbors* on the hypercube are, for each bit position ``i`` of
+its code, the peers responsible for the opposite subtree ``code[:i] + ~code[i]``.
+In a balanced hypercube that is one peer per dimension (about log N total);
+after churn the opposite subtree may be covered by several peers or by a
+peer with a shorter code.
+
+The table stores every peer the node has learned about together with the
+peer's code and liveness belief; dimension lookups are computed from codes
+on demand, so a code change (join split, takeover shortening) never leaves
+stale structure behind.
+"""
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.overlay.code import Code
+
+
+class NeighborTable:
+    """Maps peer address -> (code, alive) with hypercube dimension queries."""
+
+    def __init__(self) -> None:
+        self._peers: Dict[str, Code] = {}
+        self._alive: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def upsert(self, address: str, code: Code, alive: bool = True) -> None:
+        self._peers[address] = code
+        self._alive[address] = alive
+
+    def remove(self, address: str) -> None:
+        self._peers.pop(address, None)
+        self._alive.pop(address, None)
+
+    def mark_dead(self, address: str) -> None:
+        if address in self._alive:
+            self._alive[address] = False
+
+    def mark_alive(self, address: str) -> None:
+        if address in self._alive:
+            self._alive[address] = True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, address: str) -> bool:
+        return address in self._peers
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def code_of(self, address: str) -> Optional[Code]:
+        return self._peers.get(address)
+
+    def is_alive(self, address: str) -> bool:
+        return self._alive.get(address, False)
+
+    def entries(self, alive_only: bool = False) -> List[Tuple[str, Code]]:
+        return [
+            (addr, code)
+            for addr, code in self._peers.items()
+            if not alive_only or self._alive.get(addr, False)
+        ]
+
+    def addresses(self, alive_only: bool = False) -> List[str]:
+        return [addr for addr, _ in self.entries(alive_only=alive_only)]
+
+    def dimension_neighbors(self, my_code: Code, dim: int, alive_only: bool = True) -> List[Tuple[str, Code]]:
+        """Peers adjacent across hypercube dimension ``dim``.
+
+        In an incomplete hypercube the dimension-``dim`` neighbors of a node
+        with code ``c`` are the peers whose code (a) lies in the opposite
+        subtree ``c[:dim] + ~c[dim]`` — or is a shorter code covering it —
+        and (b) agrees with ``c`` on the bits after ``dim`` as far as both
+        codes are defined.  A balanced cube yields one such peer per
+        dimension; when the opposite subtree is one level deeper there are
+        two (e.g. node ``00`` links to both ``010`` and ``011``).
+        """
+        if not 0 <= dim < len(my_code):
+            raise IndexError(f"dimension {dim} out of range for code {my_code}")
+        target = my_code.prefix(dim + 1).flip(dim)
+        my_suffix = Code(my_code.bits[dim + 1 :])
+        result = []
+        for addr, code in self.entries(alive_only=alive_only):
+            if code.is_prefix_of(target):
+                result.append((addr, code))
+            elif target.is_prefix_of(code):
+                peer_suffix = Code(code.bits[dim + 1 :])
+                if peer_suffix.comparable(my_suffix):
+                    result.append((addr, code))
+        return result
+
+    def hypercube_neighbors(self, my_code: Code, alive_only: bool = True) -> List[Tuple[str, Code]]:
+        """The union of dimension neighbors over every bit of ``my_code``.
+
+        These are exactly the peers a balanced node keeps overlay links to,
+        and the candidate set for replica placement and takeover.
+        """
+        seen: Dict[str, Code] = {}
+        for dim in range(len(my_code)):
+            for addr, code in self.dimension_neighbors(my_code, dim, alive_only=alive_only):
+                seen[addr] = code
+        return list(seen.items())
+
+    def best_toward(self, target: Code, exclude: Iterable[str] = (), alive_only: bool = True) -> Optional[Tuple[str, Code]]:
+        """The known peer whose code shares the longest prefix with ``target``."""
+        excluded = set(exclude)
+        best: Optional[Tuple[str, Code]] = None
+        best_len = -1
+        for addr, code in self.entries(alive_only=alive_only):
+            if addr in excluded:
+                continue
+            cpl = code.common_prefix_len(target)
+            if cpl > best_len or (cpl == best_len and best is not None and code < best[1]):
+                best = (addr, code)
+                best_len = cpl
+        return best
+
+    def prune_to_neighborhood(self, my_code: Code) -> None:
+        """Forget peers that are no longer hypercube neighbors.
+
+        Called after code changes to keep the table at the ~log N size the
+        paper's balanced hypercube promises.
+        """
+        keep = {addr for addr, _ in self.hypercube_neighbors(my_code, alive_only=False)}
+        for addr in list(self._peers):
+            if addr not in keep:
+                self.remove(addr)

@@ -1,0 +1,807 @@
+"""The overlay node: message dispatch, join, routing, liveness, recovery.
+
+:class:`OverlayNode` implements everything in the paper's Section 3.3 and
+3.8 — the hypercube membership protocol and its failure handling — and
+exposes hooks that :class:`repro.core.mind_node.MindNode` overrides to add
+index semantics (Sections 3.4-3.7).
+
+Processing model
+----------------
+Each delivered message waits for the node's single dispatch "thread": the
+node has a CPU-busy horizon and every message adds a sampled service time,
+so a node flooded with inserts develops a queue — this is the mechanism
+behind the paper's long latency tails (Figures 7, 8, 11).  Per-node
+``speed_factor`` models slow PlanetLab machines.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.message import Message
+from repro.net.network import SimNetwork
+from repro.overlay.code import Code
+from repro.overlay.join import (
+    HostJoinState,
+    JoinerState,
+    PendingPrepare,
+    SiblingPointer,
+    choose_split_host,
+    host_priority,
+)
+from repro.overlay.routing import next_hop
+from repro.overlay.neighbors import NeighborTable
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class OverlayConfig:
+    """Tunables for overlay behaviour.
+
+    The defaults are calibrated to the paper's PlanetLab deployment; the
+    benchmarks override individual knobs (e.g. liveness is off for the
+    long traffic-replay runs and on for the robustness experiment).
+    """
+
+    service_time_s: float = 0.0004
+    service_jitter_sigma: float = 0.6
+    join_timeout_s: float = 8.0
+    join_backoff_s: float = 1.0
+    hb_interval_s: float = 10.0
+    hb_timeout_s: float = 35.0
+    liveness_enabled: bool = False
+    ring_max_ttl: int = 6
+    ring_step_timeout_s: float = 2.0
+    #: Routed messages die after this many hops (covers pathological
+    #: bouncing between stale-coded nodes during recovery transients).
+    route_ttl: int = 24
+    sibling_pointer_ttl_s: float = 3600.0
+    adoption_delay_s: float = 5.0
+    prune_tables: bool = True
+    route_msg_bytes: int = 320
+    control_msg_bytes: int = 180
+
+
+class OverlayNode:
+    """One MIND overlay participant.
+
+    Subclasses override the ``on_*`` hooks; the overlay machinery itself
+    never inspects application payloads.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: SimNetwork,
+        address: str,
+        config: Optional[OverlayConfig] = None,
+        speed_factor: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.config = config or OverlayConfig()
+        self.speed_factor = speed_factor
+
+        self.code: Optional[Code] = None
+        self.active = False
+        self.neighbors = NeighborTable()
+        self.adopted: Set[Code] = set()
+        self.sibling_pointer: Optional[SiblingPointer] = None
+
+        self._host_join: Optional[HostJoinState] = None
+        self._pending_prepare: Optional[PendingPrepare] = None
+        self._joiner_state: Optional[JoinerState] = None
+        self._join_round = 0
+        self._cpu_busy_until = 0.0
+        self._last_heard: Dict[str, float] = {}
+        self._hb_event = None
+        self._ring_state: Dict[Any, Dict[str, Any]] = {}
+        #: Per-node suppression of ring-probe floods: (op_id, origin) ->
+        #: highest TTL already processed.  Without this an expanding-ring
+        #: broadcast branches exponentially in the node degree.
+        self._ring_seen: Dict[Any, int] = {}
+        self._declared_dead: Set[str] = set()
+
+        self.bootstrap_provider: Optional[Callable[[str], Optional[str]]] = None
+        self.on_joined_callbacks: List[Callable[["OverlayNode"], None]] = []
+
+        self.messages_processed = 0
+        self.routes_forwarded = 0
+        self.ring_recoveries = 0
+        self.takeovers = 0
+
+        self._rng = sim.rng(f"overlay.{address}")
+        self._handlers: Dict[str, Callable[[Message], None]] = {
+            "join_lookup": self._on_join_lookup,
+            "join_neighborhood": self._on_join_neighborhood,
+            "join_lookup_fail": self._on_join_lookup_fail,
+            "join_request": self._on_join_request,
+            "join_reject": self._on_join_reject,
+            "split_prepare": self._on_split_prepare,
+            "split_ack": self._on_split_ack,
+            "split_nack": self._on_split_nack,
+            "split_abort": self._on_split_abort,
+            "split_commit_notify": self._on_split_commit_notify,
+            "split_done": self._on_split_done,
+            "code_update": self._on_code_update,
+            "heartbeat": self._on_heartbeat,
+            "liveness_probe": self._on_liveness_probe,
+            "liveness_report": self._on_liveness_report,
+            "witness_ping": self._on_witness_ping,
+            "witness_pong": self._on_witness_pong,
+            "route": self._on_route,
+            "ring_probe": self._on_ring_probe,
+            "ring_found": self._on_ring_found,
+        }
+        network.register(address, self._deliver)
+
+    # ==================================================================
+    # Hooks for subclasses
+    # ==================================================================
+    def on_route_arrival(self, envelope: Dict[str, Any]) -> None:
+        """Called when a routed message reaches a responsible node."""
+
+    def on_route_failed(self, envelope: Dict[str, Any], reason: str) -> None:
+        """Called when routing gave up (ring recovery exhausted)."""
+
+    def on_split_transfer_state(self, old_code: Code, joiner_code: Code) -> Dict[str, Any]:
+        """Host-side: application state handed to the joiner."""
+        return {}
+
+    def on_split_received_state(self, state: Dict[str, Any]) -> None:
+        """Joiner-side: install application state from the host."""
+
+    def on_code_changed(self, old_code: Optional[Code], new_code: Code) -> None:
+        """Called after any code change (split, takeover)."""
+
+    def on_peer_dead(self, address: str, code: Optional[Code]) -> None:
+        """Called once when a peer is declared dead."""
+
+    def extra_handlers(self) -> Dict[str, Callable[[Message], None]]:
+        """Subclasses add message kinds by overriding this."""
+        return {}
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    def activate_as_root(self) -> None:
+        """Become the first node of a new overlay (empty code)."""
+        if self.code is not None:
+            raise RuntimeError(f"{self.address} is already in an overlay")
+        self.active = True
+        self._set_code(Code(""))
+        self._notify_joined()
+        self._start_heartbeats()
+
+    def start_join(self, bootstrap: str) -> None:
+        """Begin joining an existing overlay via the given live node."""
+        if self.code is not None:
+            raise RuntimeError(f"{self.address} is already in an overlay")
+        self.active = True
+        self._joiner_state = JoinerState(bootstrap=bootstrap)
+        self._send(bootstrap, "join_lookup", {"joiner": self.address})
+        self._arm_join_timeout()
+
+    def crash(self) -> None:
+        """Lose all volatile state; the network layer stops deliveries."""
+        self.active = False
+        self.code = None
+        self.neighbors = NeighborTable()
+        self.adopted = set()
+        self.sibling_pointer = None
+        self._host_join = None
+        self._pending_prepare = None
+        self._joiner_state = None
+        self._last_heard = {}
+        self._ring_state = {}
+        self._declared_dead = set()
+        if self._hb_event is not None:
+            self._hb_event.cancel()
+            self._hb_event = None
+
+    def restore(self) -> None:
+        """Come back after a crash and rejoin through the bootstrap provider."""
+        bootstrap = self._pick_bootstrap()
+        if bootstrap is None:
+            self.activate_as_root()
+        else:
+            self.start_join(bootstrap)
+
+    def in_overlay(self) -> bool:
+        return self.active and self.code is not None
+
+    # ==================================================================
+    # Links and regions
+    # ==================================================================
+    def links(self, alive_only: bool = True) -> List[Tuple[str, Code]]:
+        """Current hypercube links for the primary code and adopted regions."""
+        if self.code is None:
+            return []
+        seen: Dict[str, Code] = dict(self.neighbors.hypercube_neighbors(self.code, alive_only))
+        for region in self.adopted:
+            for addr, code in self.neighbors.hypercube_neighbors(region, alive_only):
+                seen[addr] = code
+        seen.pop(self.address, None)
+        return list(seen.items())
+
+    def covers(self, target: Code) -> bool:
+        """Does this node own (part of) the region addressed by ``target``?"""
+        if self.code is None:
+            return False
+        if self.code.comparable(target):
+            return True
+        return any(region.comparable(target) for region in self.adopted)
+
+    def match_len(self, target: Code) -> int:
+        """Longest common prefix between the target and any owned region."""
+        if self.code is None:
+            return -1
+        best = self.code.common_prefix_len(target)
+        for region in self.adopted:
+            best = max(best, region.common_prefix_len(target))
+        return best
+
+    # ==================================================================
+    # Messaging plumbing
+    # ==================================================================
+    def _send(
+        self,
+        dst: str,
+        kind: str,
+        payload: Dict[str, Any],
+        size_bytes: Optional[int] = None,
+        tuples: int = 0,
+        on_fail=None,
+    ) -> None:
+        size = size_bytes if size_bytes is not None else self.config.control_msg_bytes
+        self.network.send(self.address, dst, kind, payload, size_bytes=size, tuples=tuples, on_fail=on_fail)
+
+    def _deliver(self, msg: Message) -> None:
+        if not self.active:
+            return
+        start = max(self.sim.now, self._cpu_busy_until)
+        service = (
+            self.config.service_time_s
+            * self.speed_factor
+            * self._rng.lognormvariate(0.0, self.config.service_jitter_sigma)
+        )
+        self._cpu_busy_until = start + service
+        self.sim.schedule_at(self._cpu_busy_until, self._dispatch, msg)
+
+    def _dispatch(self, msg: Message) -> None:
+        if not self.active:
+            return
+        self.messages_processed += 1
+        self._last_heard[msg.src] = self.sim.now
+        if msg.src in self._declared_dead:
+            # A peer we wrote off is talking again (it restarted or the
+            # partition healed); let liveness re-learn it via joins.
+            self._declared_dead.discard(msg.src)
+        handler = self._handlers.get(msg.kind)
+        if handler is None:
+            handler = self.extra_handlers().get(msg.kind)
+        if handler is None:
+            raise ValueError(f"{self.address}: no handler for message kind {msg.kind!r}")
+        handler(msg)
+
+    # ==================================================================
+    # Join protocol — joiner side
+    # ==================================================================
+    def _pick_bootstrap(self) -> Optional[str]:
+        if self.bootstrap_provider is None:
+            return None
+        return self.bootstrap_provider(self.address)
+
+    def _arm_join_timeout(self) -> None:
+        state = self._joiner_state
+        if state is None:
+            return
+        state.clear_timeout()
+        state.timeout_event = self.sim.schedule(self.config.join_timeout_s, self._join_timed_out, state.attempt)
+
+    def _join_timed_out(self, attempt: int) -> None:
+        state = self._joiner_state
+        if state is None or state.attempt != attempt or self.code is not None:
+            return
+        self._retry_join()
+
+    def _retry_join(self) -> None:
+        state = self._joiner_state
+        if state is None:
+            return
+        state.clear_timeout()
+        backoff = self.config.join_backoff_s * (1.0 + self._rng.random())
+        self.sim.schedule(backoff, self._restart_join, state.attempt)
+
+    def _restart_join(self, prev_attempt: int) -> None:
+        state = self._joiner_state
+        if state is None or state.attempt != prev_attempt or self.code is not None:
+            return
+        bootstrap = self._pick_bootstrap() or state.bootstrap
+        state.attempt += 1
+        state.bootstrap = bootstrap
+        state.host = None
+        self._send(bootstrap, "join_lookup", {"joiner": self.address})
+        self._arm_join_timeout()
+
+    def _on_join_lookup(self, msg: Message) -> None:
+        joiner = msg.payload["joiner"]
+        if not self.in_overlay():
+            self._send(joiner, "join_lookup_fail", {})
+            return
+        neighborhood = [(self.address, self.code.bits)]
+        neighborhood.extend((addr, code.bits) for addr, code in self.links())
+        self._send(joiner, "join_neighborhood", {"neighborhood": neighborhood})
+
+    def _on_join_lookup_fail(self, msg: Message) -> None:
+        if self._joiner_state is not None and self.code is None:
+            self._retry_join()
+
+    def _on_join_neighborhood(self, msg: Message) -> None:
+        state = self._joiner_state
+        if state is None or self.code is not None:
+            return
+        neighborhood = [(addr, Code(bits)) for addr, bits in msg.payload["neighborhood"]]
+        if not neighborhood:
+            self._retry_join()
+            return
+        host, _ = choose_split_host(neighborhood, self._rng)
+        state.host = host
+        self._send(host, "join_request", {"joiner": self.address})
+        self._arm_join_timeout()
+
+    def _on_join_reject(self, msg: Message) -> None:
+        if self._joiner_state is not None and self.code is None:
+            self._retry_join()
+
+    def _on_split_done(self, msg: Message) -> None:
+        state = self._joiner_state
+        if state is None or self.code is not None:
+            return
+        state.clear_timeout()
+        self._joiner_state = None
+        payload = msg.payload
+        self._set_code(Code(payload["code"]))
+        for addr, bits in payload["neighbors"]:
+            if addr != self.address:
+                self.neighbors.upsert(addr, Code(bits))
+        if self.config.prune_tables:
+            self.neighbors.prune_to_neighborhood(self.code)
+        self.sibling_pointer = SiblingPointer(
+            sibling=msg.src,
+            created_at=self.sim.now,
+            expires_at=self.sim.now + self.config.sibling_pointer_ttl_s,
+        )
+        self.on_split_received_state(payload.get("state", {}))
+        self._notify_joined()
+        self._start_heartbeats()
+
+    # ==================================================================
+    # Join protocol — host side
+    # ==================================================================
+    def _on_join_request(self, msg: Message) -> None:
+        joiner = msg.payload["joiner"]
+        if not self.in_overlay() or self._host_join is not None:
+            self._send(joiner, "join_reject", {"reason": "busy"})
+            return
+        self._join_round += 1
+        live_links = [addr for addr, _ in self.links()]
+        state = HostJoinState(
+            joiner=joiner,
+            host_code=self.code,
+            round_id=self._join_round,
+            awaiting_acks=set(live_links),
+        )
+        self._host_join = state
+        if not live_links:
+            self._commit_split()
+            return
+        prepare = {
+            "host": self.address,
+            "host_code": self.code.bits,
+            "joiner": joiner,
+            "round": state.round_id,
+        }
+        for addr in live_links:
+            self._send(addr, "split_prepare", prepare)
+        state.timeout_event = self.sim.schedule(
+            self.config.join_timeout_s, self._host_join_timed_out, state.round_id
+        )
+
+    def _host_join_timed_out(self, round_id: int) -> None:
+        state = self._host_join
+        if state is None or state.round_id != round_id:
+            return
+        self._abort_split("timeout")
+
+    def _abort_split(self, reason: str) -> None:
+        state = self._host_join
+        if state is None:
+            return
+        self._host_join = None
+        if state.timeout_event is not None:
+            state.timeout_event.cancel()
+        for addr in state.awaiting_acks | state.acked:
+            self._send(addr, "split_abort", {"host": self.address, "round": state.round_id})
+        self._send(state.joiner, "join_reject", {"reason": reason})
+
+    def _on_split_ack(self, msg: Message) -> None:
+        state = self._host_join
+        if state is None or msg.payload.get("round") != state.round_id:
+            return
+        state.acked.add(msg.src)
+        if state.all_acked():
+            self._commit_split()
+
+    def _on_split_nack(self, msg: Message) -> None:
+        state = self._host_join
+        if state is None or msg.payload.get("round") != state.round_id:
+            return
+        self._abort_split("preempted")
+
+    def _commit_split(self) -> None:
+        state = self._host_join
+        self._host_join = None
+        if state is None:
+            return
+        if state.timeout_event is not None:
+            state.timeout_event.cancel()
+        old_code = self.code
+        new_code = old_code.extend("0")
+        joiner_code = old_code.extend("1")
+        app_state = self.on_split_transfer_state(old_code, joiner_code)
+
+        notify = {
+            "host": self.address,
+            "host_code": new_code.bits,
+            "joiner": state.joiner,
+            "joiner_code": joiner_code.bits,
+            "round": state.round_id,
+        }
+        for addr, _ in self.links():
+            self._send(addr, "split_commit_notify", notify)
+
+        table = [(self.address, new_code.bits)]
+        table.extend((addr, code.bits) for addr, code in self.neighbors.entries(alive_only=True))
+        self._set_code(new_code, old_code=old_code)
+        self.neighbors.upsert(state.joiner, joiner_code)
+        if self.config.prune_tables:
+            self.neighbors.prune_to_neighborhood(self.code)
+        self._send(
+            state.joiner,
+            "split_done",
+            {"code": joiner_code.bits, "neighbors": table, "state": app_state},
+            size_bytes=self.config.control_msg_bytes * 4,
+        )
+
+    # ==================================================================
+    # Join protocol — neighbor side
+    # ==================================================================
+    def _on_split_prepare(self, msg: Message) -> None:
+        payload = msg.payload
+        incoming = PendingPrepare(
+            host=payload["host"],
+            host_code=Code(payload["host_code"]),
+            joiner=payload["joiner"],
+            round_id=payload["round"],
+        )
+        # Deadlock avoidance: a shallower host preempts a deeper one, both
+        # against a pending prepare we already acked and against our own
+        # in-flight hosting.
+        if self._host_join is not None:
+            my_pri = host_priority(self.code, self.address)
+            if incoming.priority() < my_pri:
+                self._abort_split("preempted-by-shallower")
+            else:
+                self._send(incoming.host, "split_nack", {"round": incoming.round_id})
+                return
+        pending = self._pending_prepare
+        if pending is not None and (pending.host != incoming.host or pending.round_id != incoming.round_id):
+            if incoming.priority() < pending.priority():
+                self._send(pending.host, "split_nack", {"round": pending.round_id})
+            else:
+                self._send(incoming.host, "split_nack", {"round": incoming.round_id})
+                return
+        self._pending_prepare = incoming
+        self._send(incoming.host, "split_ack", {"round": incoming.round_id})
+
+    def _on_split_abort(self, msg: Message) -> None:
+        pending = self._pending_prepare
+        if pending is not None and pending.host == msg.payload.get("host") and pending.round_id == msg.payload.get("round"):
+            self._pending_prepare = None
+
+    def _on_split_commit_notify(self, msg: Message) -> None:
+        payload = msg.payload
+        pending = self._pending_prepare
+        if pending is not None and pending.host == payload["host"] and pending.round_id == payload["round"]:
+            self._pending_prepare = None
+        self.neighbors.upsert(payload["host"], Code(payload["host_code"]))
+        self.neighbors.upsert(payload["joiner"], Code(payload["joiner_code"]))
+        if self.config.prune_tables and self.code is not None:
+            self.neighbors.prune_to_neighborhood(self.code)
+
+    def _on_code_update(self, msg: Message) -> None:
+        payload = msg.payload
+        self.neighbors.upsert(payload["address"], Code(payload["code"]))
+
+    # ==================================================================
+    # Routing
+    # ==================================================================
+    def route(
+        self,
+        target: Code,
+        inner_kind: str,
+        inner: Dict[str, Any],
+        op_id: Any,
+        origin: Optional[str] = None,
+        tuples: int = 0,
+    ) -> None:
+        """Start routing an application message toward ``target``."""
+        envelope = {
+            "target": target.bits,
+            "inner_kind": inner_kind,
+            "inner": inner,
+            "op_id": op_id,
+            "origin": origin or self.address,
+            "hops": 0,
+            "path": [self.address],
+            "exclude": [],
+            "tuples": tuples,
+        }
+        self._route_step(envelope)
+
+    def _on_route(self, msg: Message) -> None:
+        self._route_step(msg.payload)
+
+    def _route_step(self, envelope: Dict[str, Any]) -> None:
+        if not self.in_overlay():
+            return
+        target = Code(envelope["target"])
+        if self.covers(target):
+            self.on_route_arrival(envelope)
+            return
+        if envelope["hops"] >= self.config.route_ttl:
+            self.on_route_failed(envelope, "ttl-exceeded")
+            return
+        decision = next_hop(self.code, target, self.links(), exclude=envelope["exclude"])
+        if decision.next_hop is None:
+            self._start_ring_recovery(envelope)
+            return
+        self._forward(envelope, decision.next_hop)
+
+    def _forward(self, envelope: Dict[str, Any], nxt: str) -> None:
+        envelope["hops"] += 1
+        envelope["path"].append(nxt)
+        self.routes_forwarded += 1
+
+        def on_fail(msg: Message, reason: str, _nxt=nxt, _env=envelope) -> None:
+            # The link (or peer) is unreachable: exclude it and try an
+            # alternate route from here, as Section 3.8 describes.
+            if not self.in_overlay():
+                return
+            _env["hops"] -= 1
+            _env["path"].pop()
+            _env["exclude"].append(_nxt)
+            self._route_step(_env)
+
+        self._send(
+            nxt,
+            "route",
+            envelope,
+            size_bytes=self.config.route_msg_bytes,
+            tuples=envelope.get("tuples", 0),
+            on_fail=on_fail,
+        )
+
+    # ==================================================================
+    # Expanding-ring recovery
+    # ==================================================================
+    def _start_ring_recovery(self, envelope: Dict[str, Any]) -> None:
+        op_id = envelope["op_id"]
+        if op_id in self._ring_state:
+            return
+        self.ring_recoveries += 1
+        self._ring_state[op_id] = {"envelope": envelope, "ttl": 1, "found": False}
+        self._ring_round(op_id)
+
+    def _ring_round(self, op_id: Any) -> None:
+        state = self._ring_state.get(op_id)
+        if state is None or state["found"]:
+            return
+        envelope = state["envelope"]
+        ttl = state["ttl"]
+        if ttl > self.config.ring_max_ttl:
+            del self._ring_state[op_id]
+            self.on_route_failed(envelope, "ring-exhausted")
+            return
+        target = Code(envelope["target"])
+        probe = {
+            "op_id": op_id,
+            "target": envelope["target"],
+            "best_match": self.match_len(target),
+            "origin": self.address,
+            "ttl": ttl,
+            "visited": [self.address],
+        }
+        for addr, _ in self.links():
+            self._send(addr, "ring_probe", dict(probe, visited=list(probe["visited"])))
+        state["ttl"] = ttl + 1
+        self.sim.schedule(self.config.ring_step_timeout_s, self._ring_round, op_id)
+
+    def _on_ring_probe(self, msg: Message) -> None:
+        if not self.in_overlay():
+            return
+        payload = msg.payload
+        seen_key = (payload["op_id"], payload["origin"])
+        if self._ring_seen.get(seen_key, 0) >= payload["ttl"]:
+            return
+        self._ring_seen[seen_key] = payload["ttl"]
+        if len(self._ring_seen) > 4096:
+            # Bounded memory: drop the oldest half (dict preserves
+            # insertion order).
+            for key in list(self._ring_seen)[:2048]:
+                del self._ring_seen[key]
+        target = Code(payload["target"])
+        my_match = self.match_len(target)
+        can_progress = self.covers(target) or next_hop(self.code, target, self.links()).next_hop is not None
+        if my_match >= payload["best_match"] and can_progress and self.address != payload["origin"]:
+            self._send(payload["origin"], "ring_found", {"op_id": payload["op_id"], "match": my_match})
+            return
+        if payload["ttl"] > 1:
+            visited = set(payload["visited"]) | {self.address}
+            fwd = dict(payload, ttl=payload["ttl"] - 1, visited=list(visited))
+            for addr, _ in self.links():
+                if addr not in visited:
+                    self._send(addr, "ring_probe", dict(fwd, visited=list(fwd["visited"])))
+
+    def _on_ring_found(self, msg: Message) -> None:
+        op_id = msg.payload["op_id"]
+        state = self._ring_state.get(op_id)
+        if state is None or state["found"]:
+            return
+        state["found"] = True
+        envelope = state["envelope"]
+        del self._ring_state[op_id]
+        envelope["exclude"] = []
+        self._forward(envelope, msg.src)
+
+    # ==================================================================
+    # Liveness and takeover
+    # ==================================================================
+    def _start_heartbeats(self) -> None:
+        if not self.config.liveness_enabled or self._hb_event is not None:
+            return
+        jitter = self._rng.random() * self.config.hb_interval_s
+        self._hb_event = self.sim.schedule(jitter, self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        self._hb_event = None
+        if not self.in_overlay():
+            return
+        now = self.sim.now
+        for addr, code in self.links():
+            self._send(addr, "heartbeat", {"code": self.code.bits}, size_bytes=96)
+            last = self._last_heard.get(addr)
+            if last is not None and now - last > self.config.hb_timeout_s:
+                self._suspect(addr, code)
+        self._hb_event = self.sim.schedule(self.config.hb_interval_s, self._heartbeat_tick)
+
+    def _on_heartbeat(self, msg: Message) -> None:
+        code = Code(msg.payload["code"])
+        self.neighbors.upsert(msg.src, code)
+        self.neighbors.mark_alive(msg.src)
+
+    def _suspect(self, addr: str, code: Code) -> None:
+        if addr in self._declared_dead:
+            return
+        # Ask another neighbor whether it has heard from the suspect; this
+        # distinguishes "my link to the peer broke" from "the peer died".
+        witnesses = [a for a, _ in self.links() if a != addr]
+        if not witnesses:
+            self._declare_dead(addr)
+            return
+        witness = self._rng.choice(sorted(witnesses))
+        self._send(witness, "liveness_probe", {"suspect": addr})
+
+    def _on_liveness_probe(self, msg: Message) -> None:
+        """A peer asks us to attest whether ``suspect`` is alive.
+
+        If we heard from the suspect recently we attest directly; otherwise
+        we ping it over *our own* link — a path independent of the
+        requester's possibly-broken one, which is the point of the probe
+        (Section 3.8: distinguish a dead peer from a dead link).
+        """
+        suspect = msg.payload["suspect"]
+        last = self._last_heard.get(suspect)
+        if last is not None and (self.sim.now - last) <= self.config.hb_timeout_s:
+            self._send(msg.src, "liveness_report", {"suspect": suspect, "alive": True})
+            return
+        requester = msg.src
+
+        def ping_failed(failed_msg, reason, _s=suspect, _r=requester):
+            if self.active:
+                self._send(_r, "liveness_report", {"suspect": _s, "alive": False})
+
+        self._send(
+            suspect,
+            "witness_ping",
+            {"on_behalf": requester},
+            size_bytes=96,
+            on_fail=ping_failed,
+        )
+
+    def _on_witness_ping(self, msg: Message) -> None:
+        self._send(msg.src, "witness_pong", {"on_behalf": msg.payload["on_behalf"]}, size_bytes=96)
+
+    def _on_witness_pong(self, msg: Message) -> None:
+        self._send(
+            msg.payload["on_behalf"],
+            "liveness_report",
+            {"suspect": msg.src, "alive": True},
+        )
+
+    def _on_liveness_report(self, msg: Message) -> None:
+        if msg.payload["alive"]:
+            return
+        suspect = msg.payload["suspect"]
+        last = self._last_heard.get(suspect)
+        if last is not None and (self.sim.now - last) <= self.config.hb_timeout_s:
+            return
+        self._declare_dead(suspect)
+
+    def _declare_dead(self, addr: str) -> None:
+        if addr in self._declared_dead:
+            return
+        self._declared_dead.add(addr)
+        dead_code = self.neighbors.code_of(addr)
+        self.neighbors.mark_dead(addr)
+        self.on_peer_dead(addr, dead_code)
+        if dead_code is None or self.code is None:
+            return
+        if self.code == dead_code.sibling():
+            self._takeover(dead_code)
+        else:
+            # Staggered fallback adoption: deeper/further candidates wait
+            # longer, so the sibling (or the closest survivor) wins the race.
+            distance = len(dead_code) - self.code.common_prefix_len(dead_code)
+            delay = self.config.adoption_delay_s * (1 + distance) * (1.0 + self._rng.random())
+            self.sim.schedule(delay, self._maybe_adopt, dead_code, addr)
+
+    def _takeover(self, dead_code: Code) -> None:
+        """Sibling takeover: shorten my code to cover the dead region."""
+        old_code = self.code
+        new_code = dead_code.shorten()
+        self.takeovers += 1
+        self.adopted = {r for r in self.adopted if not new_code.is_prefix_of(r)}
+        self._set_code(new_code, old_code=old_code)
+        self._announce_code()
+
+    def _maybe_adopt(self, dead_code: Code, dead_addr: str) -> None:
+        if not self.in_overlay():
+            return
+        if self.covers(dead_code):
+            return
+        # Someone else may have taken over already; check our view.
+        for peer, code in self.neighbors.entries(alive_only=True):
+            if peer != dead_addr and code.comparable(dead_code):
+                return
+        self.takeovers += 1
+        self.adopted.add(dead_code)
+        self._announce_code()
+        self.on_code_changed(self.code, self.code)
+
+    def _announce_code(self) -> None:
+        update = {"address": self.address, "code": self.code.bits}
+        for addr, _ in self.links():
+            self._send(addr, "code_update", update)
+
+    # ==================================================================
+    # Internals
+    # ==================================================================
+    def _set_code(self, new_code: Code, old_code: Optional[Code] = None) -> None:
+        self.code = new_code
+        self.on_code_changed(old_code, new_code)
+
+    def _notify_joined(self) -> None:
+        for callback in self.on_joined_callbacks:
+            callback(self)

@@ -1,0 +1,69 @@
+"""Greedy hypercube routing decisions.
+
+Routing targets are codes (for data items, codes at cut-tree resolution;
+for queries, possibly short prefixes).  At a node with code ``c`` routing a
+message toward target ``t``:
+
+* if ``c`` and ``t`` are prefix-comparable the message has arrived — this
+  node owns (part of) the target region;
+* otherwise let ``i`` be the first differing bit: the message must cross
+  hypercube dimension ``i``, i.e. go to a peer in subtree ``t[:i+1]``.
+  Among known live peers in that subtree we pick the one sharing the
+  longest prefix with ``t``, which strictly increases prefix match and
+  bounds the path by the code length (about log N hops).
+
+When no live peer covers the required subtree the caller falls back to the
+expanding-ring recovery implemented in :mod:`repro.overlay.node`.
+"""
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.overlay.code import Code
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Outcome of one routing step.
+
+    ``arrived`` — this node owns (part of) the target region.
+    ``next_hop`` — forward to this address, or ``None`` on a dead end.
+    """
+
+    arrived: bool
+    next_hop: Optional[str] = None
+    next_code: Optional[Code] = None
+
+
+def next_hop(
+    my_code: Code,
+    target: Code,
+    links: Iterable[Tuple[str, Code]],
+    exclude: Iterable[str] = (),
+) -> RouteDecision:
+    """Decide the next routing step toward ``target``.
+
+    ``links`` is the node's live hypercube link set (address, code) pairs;
+    ``exclude`` lists addresses already known to be unreachable for this
+    message (greedy retries after a send failure).
+    """
+    if my_code.comparable(target):
+        return RouteDecision(arrived=True)
+
+    diff = my_code.first_diff(target)
+    required = target.prefix(diff + 1)
+    excluded = set(exclude)
+    best_addr: Optional[str] = None
+    best_code: Optional[Code] = None
+    best_len = -1
+    for addr, code in links:
+        if addr in excluded:
+            continue
+        if not code.comparable(required) and code.common_prefix_len(target) <= my_code.common_prefix_len(target):
+            continue
+        cpl = code.common_prefix_len(target)
+        if cpl > best_len or (cpl == best_len and best_code is not None and code < best_code):
+            best_addr, best_code, best_len = addr, code, cpl
+    if best_addr is None:
+        return RouteDecision(arrived=False, next_hop=None)
+    return RouteDecision(arrived=False, next_hop=best_addr, next_code=best_code)

@@ -1,0 +1,20 @@
+"""Discrete-event simulation kernel used by every other subsystem.
+
+The kernel is deliberately minimal: a monotonically advancing clock, a
+binary-heap event queue with stable FIFO ordering for simultaneous events,
+cancellable event handles and named deterministic random streams.  All of
+MIND's distributed behaviour (overlay maintenance, routing, storage queuing,
+failures) is expressed as callbacks scheduled on a :class:`Simulator`.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.randomness import RandomStreams
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+]

@@ -1,0 +1,78 @@
+"""Event objects and the time-ordered event queue.
+
+Events compare by ``(time, sequence)`` so that two events scheduled for the
+same instant fire in the order they were scheduled.  Cancellation is lazy:
+a cancelled event stays in the heap but is skipped when popped, which keeps
+cancellation O(1) and avoids heap surgery.
+"""
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional, Tuple
+
+
+class Event:
+    """A single scheduled callback.
+
+    Instances are created by :meth:`repro.sim.kernel.Simulator.schedule`;
+    user code only holds them to :meth:`cancel` a pending timer.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, {name}, {state})"
+
+
+class EventQueue:
+    """A binary heap of :class:`Event` with stable same-time ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]) -> Event:
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None

@@ -1,0 +1,17 @@
+"""Per-node storage: an in-memory store behind a queued access controller.
+
+This package replaces the paper prototype's MySQL-over-JDBC backend.  The
+behavioural contract the experiments depend on is preserved:
+
+* a single storage "thread" per index serializes database work, so a burst
+  of insertions or an expensive query delays everything queued behind it
+  (the Database Access Controller, :mod:`repro.storage.dac`), and
+* range queries over the multi-dimensional records, time-partitioned the
+  way a monitoring deployment would partition them
+  (:mod:`repro.storage.memtable`).
+"""
+
+from repro.storage.dac import DacConfig, DataAccessController
+from repro.storage.memtable import TimePartitionedStore
+
+__all__ = ["DacConfig", "DataAccessController", "TimePartitionedStore"]

@@ -1,0 +1,99 @@
+"""In-memory, time-partitioned record store.
+
+Records are stored with their *normalized* coordinates so that rectangle
+filtering agrees exactly with the embedding's view of the data space
+(including the clamping of out-of-domain values to the top of the range).
+Partitioning on the raw timestamp attribute prunes the scan for the
+periodic monitoring queries the paper issues (5-minute windows over a day
+of data).
+"""
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.query import NormRect, rect_contains_point
+from repro.core.records import Record
+from repro.core.schema import IndexSchema
+
+
+class TimePartitionedStore:
+    """Stores (record, normalized point) pairs, partitioned by time."""
+
+    def __init__(self, schema: IndexSchema, bucket_s: float = 300.0) -> None:
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        self.schema = schema
+        self.bucket_s = bucket_s
+        self._time_dim = schema.time_dimension()
+        self._buckets: Dict[int, List[Tuple[Record, Tuple[float, ...]]]] = {}
+        self._count = 0
+        self._keys: set = set()
+
+    def _bucket_of(self, record: Record) -> int:
+        if self._time_dim is None:
+            return 0
+        return int(record.values[self._time_dim] // self.bucket_s)
+
+    # ------------------------------------------------------------------
+    def insert(self, record: Record) -> bool:
+        """Store a record; returns False if the key was already present.
+
+        Replica re-delivery and query-time dedup both rely on keys being
+        unique, so duplicate keys are dropped rather than double counted.
+        """
+        if record.key in self._keys:
+            return False
+        self._keys.add(record.key)
+        point = self.schema.normalize(record.values)
+        self._buckets.setdefault(self._bucket_of(record), []).append((record, point))
+        self._count += 1
+        return True
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._keys
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        rect: NormRect,
+        time_range: Optional[Tuple[float, float]] = None,
+    ) -> List[Record]:
+        """All records whose normalized point lies in ``rect``.
+
+        ``time_range`` (raw units, half-open) prunes the buckets scanned;
+        the rectangle check remains authoritative.
+        """
+        buckets = self._candidate_buckets(time_range)
+        out = []
+        for bucket in buckets:
+            for record, point in self._buckets.get(bucket, ()):
+                if rect_contains_point(rect, point):
+                    out.append(record)
+        return out
+
+    def _candidate_buckets(self, time_range: Optional[Tuple[float, float]]) -> Sequence[int]:
+        if time_range is None or self._time_dim is None:
+            return list(self._buckets)
+        lo, hi = time_range
+        first = int(lo // self.bucket_s)
+        last = int(max(lo, hi - 1e-9) // self.bucket_s)
+        return [b for b in range(first, last + 1) if b in self._buckets]
+
+    def all_records(self) -> List[Record]:
+        return [record for bucket in self._buckets.values() for record, _ in bucket]
+
+    def drop_before(self, cutoff: float) -> int:
+        """Expire whole buckets older than ``cutoff`` (version retirement)."""
+        if self._time_dim is None:
+            return 0
+        removed = 0
+        for bucket in list(self._buckets):
+            if (bucket + 1) * self.bucket_s <= cutoff:
+                entries = self._buckets.pop(bucket)
+                removed += len(entries)
+                for record, _ in entries:
+                    self._keys.discard(record.key)
+        self._count -= removed
+        return removed

@@ -1,0 +1,64 @@
+"""Synthetic backbone traffic: flows, aggregation, anomalies, datasets.
+
+This package substitutes for the NetFlow/eBGP feeds the paper collected
+from Abilene and GÉANT.  It generates *sampled* flow records per monitor
+with the distributional properties the paper's results depend on:
+
+* Zipf-popular source/destination prefixes (storage skew, Figures 2/13),
+* heavy-tailed flow sizes (alpha flows exist to be found),
+* a stationary diurnal rate and mix profile (day-to-day mismatch stays
+  small while hour-to-hour mismatch is large, Figure 3),
+* per-network packet-sampling rates (Abilene 1/100 vs GÉANT 1/1000 — more
+  tuples injected from Abilene nodes, Figure 12's imbalance), and
+* injectable anomalies — alpha flows, DoS attacks, port scans — with exact
+  ground truth for recall evaluation (Figure 16/17).
+
+The aggregation module turns raw flows into the paper's three index record
+types (Section 4.1) with its 30-second windows and filter thresholds.
+"""
+
+from repro.traffic.aggregation import AggregatedFlow, AggregationConfig, aggregate_flows
+from repro.traffic.anomalies import (
+    AlphaFlowEvent,
+    AnomalyEvent,
+    DoSEvent,
+    PortScanEvent,
+)
+from repro.traffic.flows import FlowRecord
+from repro.traffic.generator import BackboneTrafficGenerator, TrafficConfig
+from repro.traffic.indices import (
+    INDEX1_FANOUT_MIN,
+    INDEX2_OCTETS_MIN,
+    INDEX3_FLOWSIZE_MIN,
+    index1_records,
+    index1_schema,
+    index2_records,
+    index2_schema,
+    index3_records,
+    index3_schema,
+)
+from repro.traffic.prefixes import Prefix, PrefixPool
+
+__all__ = [
+    "AggregatedFlow",
+    "AggregationConfig",
+    "AlphaFlowEvent",
+    "AnomalyEvent",
+    "BackboneTrafficGenerator",
+    "DoSEvent",
+    "FlowRecord",
+    "INDEX1_FANOUT_MIN",
+    "INDEX2_OCTETS_MIN",
+    "INDEX3_FLOWSIZE_MIN",
+    "PortScanEvent",
+    "Prefix",
+    "PrefixPool",
+    "TrafficConfig",
+    "aggregate_flows",
+    "index1_records",
+    "index1_schema",
+    "index2_records",
+    "index2_schema",
+    "index3_records",
+    "index3_schema",
+]

@@ -1,0 +1,76 @@
+"""Canned synthetic datasets mirroring the paper's trace selections.
+
+* :func:`baseline_generator` — the 34-monitor Abilene+GÉANT deployment of
+  the baseline experiment (Sept 1-3, 2004 in the paper).
+* :func:`abilene_generator` — Abilene-only (Figure 1's single-router day,
+  and the Section 5 anomaly replay).
+* :func:`lakhina_anomalies` — the five anomaly episodes of Figure 17
+  (three alpha-flow pairs, a 2xDoS+scan burst and a 2xDoS burst) with the
+  router paths the paper reports for its DoS flows.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.net.topology import ABILENE_SITES, backbone_sites
+from repro.traffic.anomalies import AlphaFlowEvent, AnomalyEvent, DoSEvent, PortScanEvent
+from repro.traffic.generator import BackboneTrafficGenerator, TrafficConfig
+
+
+def baseline_generator(
+    seed: int = 0,
+    config: Optional[TrafficConfig] = None,
+    anomalies: Tuple[AnomalyEvent, ...] = (),
+) -> BackboneTrafficGenerator:
+    """Generator over all 34 Abilene+GÉANT monitors."""
+    cfg = config or TrafficConfig(seed=seed)
+    return BackboneTrafficGenerator(backbone_sites(), cfg, anomalies=anomalies)
+
+
+def abilene_generator(
+    seed: int = 0,
+    config: Optional[TrafficConfig] = None,
+    anomalies: Tuple[AnomalyEvent, ...] = (),
+) -> BackboneTrafficGenerator:
+    """Generator over the 11 Abilene monitors only."""
+    cfg = config or TrafficConfig(seed=seed)
+    return BackboneTrafficGenerator(ABILENE_SITES, cfg, anomalies=anomalies)
+
+
+def lakhina_anomalies(generator: BackboneTrafficGenerator) -> List[AnomalyEvent]:
+    """The five Figure-17 anomaly episodes on the Abilene topology.
+
+    Times of day follow the paper's table (13:30, 15:45, 15:55, 19:50,
+    19:55 on December 18th, 2003); the two 19:55 DoS flows use the router
+    paths the paper reports (CHIN-DNVR-IPLS-KSCY-LOSA-SNVA and CHIN-IPLS).
+    """
+    pool = generator.pools["abilene"]
+    p = pool.prefixes
+
+    def at(hh: int, mm: int) -> float:
+        return hh * 3600.0 + mm * 60.0
+
+    all_abilene = tuple(s.name for s in ABILENE_SITES)
+    events: List[AnomalyEvent] = [
+        # Three episodes of two concurrent alpha flows each.
+        AlphaFlowEvent("alpha-1330-a", at(13, 30), 240.0, p[3], p[40], ("NYCM", "CHIN", "IPLS")),
+        AlphaFlowEvent("alpha-1330-b", at(13, 30) + 30.0, 240.0, p[9], p[41], ("WASH", "ATLA")),
+        AlphaFlowEvent("alpha-1545-a", at(15, 45), 240.0, p[5], p[50], ("LOSA", "SNVA")),
+        AlphaFlowEvent("alpha-1545-b", at(15, 45) + 60.0, 180.0, p[11], p[51], ("STTL", "DNVR")),
+        AlphaFlowEvent("alpha-1555-a", at(15, 55), 240.0, p[6], p[52], ("HSTN", "KSCY")),
+        AlphaFlowEvent("alpha-1555-b", at(15, 55) + 30.0, 240.0, p[13], p[53], ("ATLA", "IPLS")),
+        # 19:50 — two DoS attacks and one port scan.
+        DoSEvent("dos-1950-a", at(19, 50), 180.0, p[20], p[60], ("NYCM", "WASH", "ATLA")),
+        DoSEvent("dos-1950-b", at(19, 50) + 30.0, 180.0, p[21], p[61], ("DNVR", "KSCY")),
+        PortScanEvent("scan-1950", at(19, 50) + 60.0, 180.0, p[22], p[62], ("CHIN", "IPLS")),
+        # 19:55 — two DoS attacks with the paper's router paths.
+        DoSEvent(
+            "dos-1955-a",
+            at(19, 55),
+            180.0,
+            p[23],
+            p[63],
+            ("CHIN", "DNVR", "IPLS", "KSCY", "LOSA", "SNVA"),
+        ),
+        DoSEvent("dos-1955-b", at(19, 55) + 30.0, 180.0, p[24], p[64], ("CHIN", "IPLS")),
+    ]
+    return events

@@ -1,0 +1,27 @@
+"""Raw (sampled) flow records as emitted by a monitor's NetFlow export."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One sampled flow observed at one monitor.
+
+    ``octets`` is the *reported* (sampled) byte count; because routers
+    sample packets (1/100 on Abilene, 1/1000 on GÉANT), the true flow may
+    be much larger — the reason the paper's 50 KB threshold is
+    "conservative enough to capture most alpha flows".
+    """
+
+    monitor: str
+    start: float
+    src_addr: int
+    dst_addr: int
+    dst_port: int
+    protocol: int
+    octets: int
+    packets: int
+
+    def __post_init__(self) -> None:
+        if self.octets < 0 or self.packets < 0:
+            raise ValueError("octets/packets must be non-negative")

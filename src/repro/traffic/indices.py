@@ -1,0 +1,111 @@
+"""The paper's three evaluation indices (Section 4.1).
+
+Each index is built from the first three attributes of an aggregated flow
+record; the remaining attributes ride along as payload:
+
+* **Index-1** ``(dest_prefix, timestamp, fanout | source_prefix, node)``
+  — port scans and DoS: *sources attempting to connect to more than F
+  hosts in destination prefix D within period T*.
+* **Index-2** ``(dest_prefix, timestamp, octets | source_prefix, node)``
+  — alpha flows: *flows destined for D carrying at least O octets in T*.
+* **Index-3** ``(dest_prefix, timestamp, flow_size | source_prefix,
+  dst_port, node)`` — applications hiding on well-known ports.
+
+Filter thresholds and histogram upper bounds follow the paper: records
+with fanout < 16, octets < 80 KB or flow_size < 1.5 KB are not inserted,
+and attribute domains are capped at 5024 / 2 MB / 128 KB (values beyond
+the cap — fewer than 0.1% of tuples — are assigned the largest range).
+"""
+
+from typing import Iterable, List
+
+from repro.core.records import Record
+from repro.core.schema import AttributeSpec, IndexSchema
+from repro.traffic.aggregation import AggregatedFlow
+from repro.traffic.prefixes import ADDRESS_SPACE
+
+INDEX1_FANOUT_MIN = 16
+INDEX2_OCTETS_MIN = 80_000
+INDEX3_FLOWSIZE_MIN = 1_500
+
+FANOUT_CAP = 5024.0
+OCTETS_CAP = 2_000_000.0
+FLOWSIZE_CAP = 128_000.0
+
+
+def index1_schema(horizon_s: float, name: str = "index1") -> IndexSchema:
+    return IndexSchema(
+        name,
+        attributes=[
+            AttributeSpec("dest_prefix", 0.0, float(ADDRESS_SPACE)),
+            AttributeSpec("timestamp", 0.0, horizon_s, is_time=True),
+            AttributeSpec("fanout", 0.0, FANOUT_CAP),
+        ],
+        payload_names=("source_prefix", "node"),
+    )
+
+
+def index2_schema(horizon_s: float, name: str = "index2") -> IndexSchema:
+    return IndexSchema(
+        name,
+        attributes=[
+            AttributeSpec("dest_prefix", 0.0, float(ADDRESS_SPACE)),
+            AttributeSpec("timestamp", 0.0, horizon_s, is_time=True),
+            AttributeSpec("octets", 0.0, OCTETS_CAP),
+        ],
+        payload_names=("source_prefix", "node"),
+    )
+
+
+def index3_schema(horizon_s: float, name: str = "index3") -> IndexSchema:
+    return IndexSchema(
+        name,
+        attributes=[
+            AttributeSpec("dest_prefix", 0.0, float(ADDRESS_SPACE)),
+            AttributeSpec("timestamp", 0.0, horizon_s, is_time=True),
+            AttributeSpec("flow_size", 0.0, FLOWSIZE_CAP),
+        ],
+        payload_names=("source_prefix", "dst_port", "node"),
+    )
+
+
+def index1_records(
+    aggregates: Iterable[AggregatedFlow], min_fanout: int = INDEX1_FANOUT_MIN
+) -> List[Record]:
+    """Filtered Index-1 records from aggregated flows."""
+    return [
+        Record(
+            [float(a.dst_prefix), a.window_start, float(a.fanout)],
+            payload={"source_prefix": a.src_prefix, "node": a.monitor},
+        )
+        for a in aggregates
+        if a.fanout >= min_fanout
+    ]
+
+
+def index2_records(
+    aggregates: Iterable[AggregatedFlow], min_octets: int = INDEX2_OCTETS_MIN
+) -> List[Record]:
+    """Filtered Index-2 records from aggregated flows."""
+    return [
+        Record(
+            [float(a.dst_prefix), a.window_start, float(a.octets)],
+            payload={"source_prefix": a.src_prefix, "node": a.monitor},
+        )
+        for a in aggregates
+        if a.octets >= min_octets
+    ]
+
+
+def index3_records(
+    aggregates: Iterable[AggregatedFlow], min_flow_size: float = INDEX3_FLOWSIZE_MIN
+) -> List[Record]:
+    """Filtered Index-3 records from aggregated flows."""
+    return [
+        Record(
+            [float(a.dst_prefix), a.window_start, a.flow_size],
+            payload={"source_prefix": a.src_prefix, "dst_port": a.top_port, "node": a.monitor},
+        )
+        for a in aggregates
+        if a.flow_size >= min_flow_size
+    ]

@@ -1,0 +1,70 @@
+"""Tests for the drill-down query loop."""
+
+import pytest
+
+from repro.anomaly.drilldown import drill_down
+from repro.core.cluster import ClusterConfig, MindCluster
+from repro.core.query import RangeQuery
+from repro.core.records import Record
+from repro.core.schema import AttributeSpec, IndexSchema
+from repro.net.topology import ABILENE_SITES
+from repro.traffic.prefixes import ADDRESS_SPACE
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    config = ClusterConfig(seed=81, track_ground_truth=True)
+    c = MindCluster(ABILENE_SITES, config)
+    c.build()
+    schema = IndexSchema(
+        "d",
+        attributes=[
+            AttributeSpec("dest_prefix", 0.0, float(ADDRESS_SPACE)),
+            AttributeSpec("timestamp", 0.0, 86400.0, is_time=True),
+            AttributeSpec("octets", 0.0, 2e6),
+        ],
+        payload_names=("node",),
+    )
+    c.create_index(schema)
+    rng = c.sim.rng("t.drill")
+    base = c.sim.now
+    # Background records plus one hot destination with huge octets.
+    hot_dest = (128 << 24) + (40 << 16)
+    for i in range(150):
+        record = Record([rng.uniform(62 * 2**24, 129 * 2**24), rng.uniform(0, 3600), rng.uniform(0, 1e5)])
+        c.schedule_insert("d", record, ABILENE_SITES[i % 11].name, base + i * 0.02)
+    for j in range(5):
+        record = Record([float(hot_dest + j), 1800.0 + j, 1.9e6])
+        c.schedule_insert("d", record, "CHIN", base + 5.0 + j * 0.1)
+    c.advance(30.0)
+    return c, hot_dest
+
+
+def test_drill_down_converges_to_hot_records(cluster):
+    c, hot_dest = cluster
+    initial = RangeQuery("d", {"timestamp": (0, 3600), "octets": (1e4, None)})
+    session = drill_down(c, initial, origin="NYCM", value_attribute="octets", target_size=10)
+    assert session.queries_issued >= 2
+    assert 0 < len(session.final_records) <= 60
+    # The hot destination's records survive every narrowing step.
+    hot = [r for r in session.final_records if abs(r.values[0] - hot_dest) < 2**16]
+    assert len(hot) == 5
+    # Result sizes shrink monotonically (never grow).
+    sizes = [step.records for step in session.steps]
+    assert all(sizes[i + 1] <= sizes[i] for i in range(len(sizes) - 1))
+
+
+def test_drill_down_stops_when_small(cluster):
+    c, _ = cluster
+    tiny = RangeQuery("d", {"timestamp": (0, 3600), "octets": (1.5e6, None)})
+    session = drill_down(c, tiny, origin="LOSA", value_attribute="octets", target_size=10)
+    assert session.queries_issued == 1
+
+
+def test_drill_down_empty_result(cluster):
+    c, _ = cluster
+    nothing = RangeQuery("d", {"timestamp": (50000, 50300), "octets": (1e4, None)})
+    session = drill_down(c, nothing, origin="ATLA", value_attribute="octets")
+    assert session.queries_issued == 1
+    assert session.final_records == []
+    assert session.total_latency > 0

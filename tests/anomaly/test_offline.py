@@ -1,0 +1,114 @@
+"""Tests for the offline detector and query templates."""
+
+import pytest
+
+from repro.anomaly.offline import OfflineDetector
+from repro.anomaly.queries import (
+    alpha_flow_query,
+    covert_port_query,
+    fanout_query,
+    filter_by_port,
+    monitors_in_results,
+)
+from repro.core.records import Record
+from repro.traffic.aggregation import AggregatedFlow
+from repro.traffic.prefixes import Prefix
+
+
+def agg(monitor="CHIN", window=600.0, src=0x80000000, dst=0x80100000, octets=1000, fanout=1):
+    return AggregatedFlow(
+        monitor=monitor,
+        window_start=window,
+        src_prefix=src,
+        dst_prefix=dst,
+        octets=octets,
+        connections=max(1, fanout),
+        fanout=fanout,
+        top_port=80,
+    )
+
+
+def test_detects_alpha_and_fanout():
+    detector = OfflineDetector(fanout_threshold=1000, octets_threshold=1_000_000)
+    anomalies = detector.detect(
+        [
+            agg(octets=2_000_000),
+            agg(fanout=1500, dst=0x80200000),
+            agg(octets=10),
+        ]
+    )
+    kinds = sorted(a.kind for a in anomalies)
+    assert kinds == ["alpha", "fanout"]
+
+
+def test_merges_multi_monitor_observations():
+    detector = OfflineDetector(fanout_threshold=1000, octets_threshold=1e12)
+    anomalies = detector.detect(
+        [
+            agg(monitor="CHIN", fanout=1500),
+            agg(monitor="IPLS", fanout=1400),
+        ]
+    )
+    assert len(anomalies) == 1
+    assert anomalies[0].monitors == ("CHIN", "IPLS")
+    assert anomalies[0].magnitude == 1500
+
+
+def test_below_threshold_ignored():
+    detector = OfflineDetector()
+    assert detector.detect([agg(octets=100, fanout=3)]) == []
+
+
+def test_five_minute_interval():
+    detector = OfflineDetector(fanout_threshold=1)
+    anomaly = detector.detect([agg(window=630.0, fanout=10)])[0]
+    assert anomaly.five_minute_interval() == (600.0, 900.0)
+
+
+def test_invalid_thresholds():
+    with pytest.raises(ValueError):
+        OfflineDetector(fanout_threshold=0)
+
+
+# ---------------------------------------------------------------------------
+# Query templates
+# ---------------------------------------------------------------------------
+
+def test_fanout_query_shape():
+    q = fanout_query(1000.0)
+    assert q.index == "index1"
+    assert q.interval("timestamp") == (1000.0, 1300.0)
+    assert q.interval("fanout") == (1500.0, None)
+    assert q.interval("dest_prefix") == (None, None)
+
+
+def test_fanout_query_with_prefix():
+    q = fanout_query(0.0, dst_prefix=Prefix(0x80100000))
+    lo, hi = q.interval("dest_prefix")
+    assert (lo, hi) == (float(0x80100000), float(0x80110000))
+
+
+def test_alpha_query_between_bounds():
+    q = alpha_flow_query(0.0, octets_min=1e6, octets_max=2e6)
+    assert q.interval("octets") == (1e6, 2e6)
+    assert q.index == "index2"
+
+
+def test_covert_port_query_and_filter():
+    q = covert_port_query(0.0, flow_size_min=5000.0)
+    assert q.index == "index3"
+    records = [
+        Record([1.0, 2.0, 3.0], payload={"dst_port": 53}),
+        Record([1.0, 2.0, 3.0], payload={"dst_port": 80}),
+    ]
+    kept = filter_by_port(records, {53})
+    assert len(kept) == 1 and kept[0].payload["dst_port"] == 53
+
+
+def test_monitors_in_results():
+    records = [
+        Record([0, 0, 0], payload={"node": "CHIN"}),
+        Record([0, 0, 0], payload={"node": "IPLS"}),
+        Record([0, 0, 0], payload={"node": "CHIN"}),
+    ]
+    assert monitors_in_results(records) == ("CHIN", "IPLS")

@@ -1,0 +1,121 @@
+"""Tests for the benchmark harness helpers (workload replay, stats)."""
+
+import pytest
+
+from repro.bench.stats import cdf_points, format_table, summarize
+from repro.bench.workload import collect_aggregates, replay, timed_index_records
+from repro.core.cluster import ClusterConfig, MindCluster
+from repro.net.topology import ABILENE_SITES
+from repro.traffic.datasets import abilene_generator
+from repro.traffic.generator import TrafficConfig
+from repro.traffic.indices import index2_schema
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return abilene_generator(seed=61, config=TrafficConfig(seed=61, flows_per_second=2.0))
+
+
+def test_timed_records_sorted_and_stamped(generator):
+    timed = timed_index_records(
+        generator, 0, 3600.0, 300.0, indices=("index2",), thresholds={"index2": 5_000.0}
+    )
+    assert timed
+    assert all(timed[i].at <= timed[i + 1].at for i in range(len(timed) - 1))
+    for item in timed:
+        # Records are inserted at the end of their window.
+        assert item.at % 30.0 == 0.0
+        assert item.record.payload["node"] == item.origin
+        assert item.index == "index2"
+
+
+def test_timed_records_unknown_index(generator):
+    with pytest.raises(KeyError):
+        timed_index_records(generator, 0, 0.0, 60.0, indices=("bogus",))
+
+
+def test_thresholds_reduce_volume(generator):
+    loose = timed_index_records(
+        generator, 0, 3600.0, 300.0, indices=("index2",), thresholds={"index2": 1_000.0}
+    )
+    strict = timed_index_records(
+        generator, 0, 3600.0, 300.0, indices=("index2",), thresholds={"index2": 100_000.0}
+    )
+    assert len(strict) < len(loose)
+
+
+def test_collect_aggregates_covers_monitors(generator):
+    aggs = collect_aggregates(generator, 0, 3600.0, 120.0)
+    monitors = {a.monitor for a in aggs}
+    assert monitors == {s.name for s in ABILENE_SITES}
+
+
+def test_replay_maps_trace_time_to_sim_time(generator):
+    cluster = MindCluster(ABILENE_SITES[:5], ClusterConfig(seed=62))
+    cluster.build()
+    cluster.create_index(index2_schema(86400.0))
+    timed = timed_index_records(
+        generator, 0, 3600.0, 120.0, indices=("index2",), thresholds={"index2": 5_000.0},
+        monitors=[s.name for s in ABILENE_SITES[:5]],
+    )
+    assert timed
+    start, end = replay(cluster, timed)
+    assert end >= start
+    # 120 s of trace maps to about 120 s of virtual time (plus spread).
+    assert end - start <= 130.0
+    cluster.advance((end - start) + 30.0)
+    assert len(cluster.metrics.inserts) == len(timed)
+
+
+def test_replay_time_scale(generator):
+    cluster = MindCluster(ABILENE_SITES[:5], ClusterConfig(seed=63))
+    cluster.build()
+    cluster.create_index(index2_schema(86400.0))
+    timed = timed_index_records(
+        generator, 0, 3600.0, 120.0, indices=("index2",), thresholds={"index2": 5_000.0},
+        monitors=[s.name for s in ABILENE_SITES[:5]],
+    )
+    start, end = replay(cluster, timed, time_scale=0.1, spread_s=0.5)
+    assert end - start <= 13.0
+
+
+def test_replay_empty_rejected():
+    cluster = MindCluster(ABILENE_SITES[:3], ClusterConfig(seed=64))
+    cluster.build()
+    with pytest.raises(ValueError):
+        replay(cluster, [])
+
+
+# ---------------------------------------------------------------------------
+# stats
+# ---------------------------------------------------------------------------
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s["count"] == 4
+    assert s["mean"] == 2.5
+    assert s["max"] == 4.0
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_cdf_points_monotone():
+    points = cdf_points(list(range(100)))
+    values = [v for _, v in points]
+    assert values == sorted(values)
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+
+
+def test_misaligned_start_is_snapped_to_window_grid(generator):
+    # A trace start off the 30 s grid must not split windows: the same
+    # period requested aligned and misaligned yields the same aggregates.
+    aligned = collect_aggregates(generator, 0, 3600.0, 120.0)
+    misaligned = collect_aggregates(generator, 0, 3610.0, 110.0)
+    key = lambda a: (a.monitor, a.window_start, a.src_prefix, a.dst_prefix, a.octets)
+    assert sorted(map(key, aligned)) == sorted(map(key, misaligned))

@@ -1,0 +1,79 @@
+"""Tests for the balanced-embedding convenience API."""
+
+import random
+
+import pytest
+
+from repro.core.balance import (
+    balanced_embedding,
+    histogram_from_records,
+    next_day_embedding,
+    recommended_granularity,
+)
+from repro.core.cuts import BalancedCuts
+from repro.core.records import Record
+from repro.core.schema import AttributeSpec, IndexSchema
+
+DAY = 86400.0
+
+
+def schema():
+    return IndexSchema(
+        "b",
+        attributes=[
+            AttributeSpec("dest", 0.0, 2.0**32),
+            AttributeSpec("timestamp", 0.0, 7 * DAY, is_time=True),
+            AttributeSpec("octets", 0.0, 2e6),
+        ],
+    )
+
+
+def test_recommended_granularity_roles():
+    grains = recommended_granularity(schema())
+    assert grains == (65536, 8192, 64)
+
+
+def test_histogram_from_records():
+    records = [Record([1e9, 100.0, 5e5]), Record([1e9, 100.0, 5e5])]
+    hist = histogram_from_records(schema(), records)
+    assert hist.total == 2.0
+    assert hist.grains == (65536, 8192, 64)
+
+
+def test_balanced_embedding_balances_skewed_sample():
+    rng = random.Random(0)
+    records = []
+    for _ in range(3000):
+        dest = (128 << 24) + int(min(rng.expovariate(4.0), 0.999) * (192 << 16))
+        records.append(Record([float(dest), rng.uniform(0, DAY), rng.lognormvariate(11, 1.5)]))
+    emb = balanced_embedding(schema(), records, code_depth=5)
+    counts = {}
+    for r in records:
+        code = emb.point_code(r.values, depth=5).bits
+        counts[code] = counts.get(code, 0) + 1
+    assert len(counts) == 32
+    assert max(counts.values()) < 3 * (3000 / 32)
+
+
+def test_next_day_embedding_shifts_time():
+    rng = random.Random(1)
+    records = [
+        Record([rng.uniform(0, 2**32), rng.uniform(0, DAY), rng.uniform(0, 2e6)])
+        for _ in range(500)
+    ]
+    hist = histogram_from_records(schema(), records)
+    tomorrow = next_day_embedding(schema(), hist)
+    assert isinstance(tomorrow.strategy, BalancedCuts)
+    # Tomorrow's time-dimension mass sits one day later: a day-1 point and
+    # its day-0 twin land in mirrored regions.
+    day1_point = [1e9, DAY + 1000.0, 5e5]
+    day0_point = [1e9, 1000.0, 5e5]
+    today = balanced_embedding(schema(), records)
+    assert tomorrow.point_code(day1_point, depth=6) == today.point_code(day0_point, depth=6)
+
+
+def test_next_day_embedding_without_time_dimension():
+    s = IndexSchema("nt", attributes=[AttributeSpec("x", 0.0, 10.0)])
+    hist = histogram_from_records(s, [Record([5.0])])
+    emb = next_day_embedding(s, hist)
+    assert isinstance(emb.strategy, BalancedCuts)

@@ -1,0 +1,143 @@
+"""End-to-end integration: build an overlay, create indices, insert, query."""
+
+import random
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, MindCluster
+from repro.core.cuts import BalancedCuts
+from repro.core.histogram import MultiDimHistogram
+from repro.core.query import RangeQuery
+from repro.core.records import Record
+from repro.core.schema import AttributeSpec, IndexSchema
+from repro.net.topology import ABILENE_SITES
+
+
+def make_schema(name="idx2"):
+    return IndexSchema(
+        name,
+        attributes=[
+            AttributeSpec("dest", 0.0, 1024.0),
+            AttributeSpec("timestamp", 0.0, 86400.0, is_time=True),
+            AttributeSpec("octets", 0.0, 2e6),
+        ],
+        payload_names=("source", "node"),
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    config = ClusterConfig(seed=42, track_ground_truth=True)
+    c = MindCluster(ABILENE_SITES, config)
+    c.build()
+    c.create_index(make_schema())
+    return c
+
+
+def test_all_nodes_joined(cluster):
+    assert len(cluster.live_nodes()) == 11
+
+
+def test_index_propagated_everywhere(cluster):
+    assert all(n.has_index("idx2") for n in cluster.nodes)
+
+
+def test_insert_and_point_query(cluster):
+    record = Record([100.0, 3600.0, 5e5], payload={"source": 7, "node": "ATLA"})
+    metric = cluster.insert_now("idx2", record, origin="ATLA")
+    assert metric.success
+    assert metric.hops is not None
+    assert metric.latency > 0
+
+    query = RangeQuery(
+        "idx2", {"dest": (99, 101), "timestamp": (3000, 4000), "octets": (4e5, 6e5)}
+    )
+    records = cluster.query_records(query, origin="NYCM")
+    assert [r.key for r in records] == [record.key]
+    assert records[0].payload["node"] == "ATLA"
+
+
+def test_query_excludes_non_matching(cluster):
+    r1 = Record([200.0, 7200.0, 1e5])
+    r2 = Record([200.0, 7200.0, 9e5])
+    cluster.insert_now("idx2", r1, origin="CHIN")
+    cluster.insert_now("idx2", r2, origin="CHIN")
+    query = RangeQuery("idx2", {"dest": (199, 201), "timestamp": (7000, 7500), "octets": (5e5, None)})
+    keys = {r.key for r in cluster.query_records(query, origin="LOSA")}
+    assert r2.key in keys
+    assert r1.key not in keys
+
+
+def test_bulk_insert_full_recall(cluster):
+    rng = random.Random(8)
+    inserted = []
+    origins = [s.name for s in ABILENE_SITES]
+    for i in range(120):
+        record = Record([rng.uniform(0, 1024), rng.uniform(20000, 21000), rng.uniform(0, 2e6)])
+        inserted.append(record)
+        cluster.schedule_insert("idx2", record, rng.choice(origins), cluster.sim.now + i * 0.05)
+    cluster.advance(60.0)
+
+    query = RangeQuery("idx2", {"timestamp": (20000, 21000)})
+    metric = cluster.query_now(query, origin="WASH")
+    assert metric.complete
+    expected = cluster.reference_answer(query)
+    assert metric.record_keys == expected
+    assert len(expected) == 120
+
+
+def test_wildcard_big_query_visits_many_nodes(cluster):
+    query = RangeQuery("idx2", {"timestamp": (0, 86400)})
+    metric = cluster.query_now(query, origin="DNVR")
+    assert metric.complete
+    assert metric.cost >= 4  # a full-space query touches most of the overlay
+
+
+def test_small_query_visits_few_nodes(cluster):
+    query = RangeQuery(
+        "idx2", {"dest": (100, 100.5), "timestamp": (3500, 3700), "octets": (4.9e5, 5.1e5)}
+    )
+    metric = cluster.query_now(query, origin="SNVA")
+    assert metric.complete
+    assert metric.cost <= 4
+
+
+def test_query_latency_sub_second_regime(cluster):
+    # Paper Figure 10: median query latency around half a second.
+    lat = [m for m in cluster.metrics.queries if m.latency is not None]
+    assert lat, "no queries recorded"
+    assert min(m.latency for m in lat) < 2.0
+
+
+def test_balanced_index_creation_and_query():
+    config = ClusterConfig(seed=7, track_ground_truth=True)
+    c = MindCluster(ABILENE_SITES[:6], config)
+    c.build()
+    hist = MultiDimHistogram(3, 16)
+    rng = random.Random(9)
+    for _ in range(1000):
+        hist.add((min(0.999, rng.expovariate(6.0)), rng.random(), min(0.999, rng.expovariate(6.0))))
+    c.create_index(make_schema("bal"), strategy=BalancedCuts(hist))
+    rng2 = random.Random(10)
+    for i in range(60):
+        rec = Record(
+            [min(1023, rng2.expovariate(6.0) * 1024), rng2.uniform(0, 500), min(2e6 - 1, rng2.expovariate(6.0) * 2e6)]
+        )
+        c.schedule_insert("bal", rec, c.nodes[i % 6].address, c.sim.now + i * 0.1)
+    c.advance(30.0)
+    query = RangeQuery("bal", {"timestamp": (0, 500)})
+    metric = c.query_now(query, origin=c.nodes[0].address)
+    assert metric.complete
+    assert metric.record_keys == c.reference_answer(query)
+
+
+def test_drop_index():
+    config = ClusterConfig(seed=11)
+    c = MindCluster(ABILENE_SITES[:4], config)
+    c.build()
+    c.create_index(make_schema("tmp"))
+    c.nodes[2].drop_index("tmp")
+    ok = c.sim.run_until_predicate(
+        lambda: not any(n.has_index("tmp") for n in c.nodes), timeout=60.0
+    )
+    assert ok

@@ -1,0 +1,82 @@
+"""Unit tests for cut strategies and their wire forms."""
+
+import pytest
+
+from repro.core.cuts import BalancedCuts, EvenCuts, strategy_from_wire
+from repro.core.histogram import MultiDimHistogram
+
+
+def test_even_cuts_midpoint():
+    cuts = EvenCuts()
+    assert cuts.split(((0.0, 1.0), (0.0, 1.0)), 0) == 0.5
+    assert cuts.split(((0.25, 0.75), (0.0, 1.0)), 0) == 0.5
+    assert cuts.split(((0.0, 1.0), (0.5, 1.0)), 1) == 0.75
+
+
+def test_balanced_cuts_follow_mass():
+    hist = MultiDimHistogram(1, 16)
+    for _ in range(90):
+        hist.add((0.05,))
+    for _ in range(10):
+        hist.add((0.95,))
+    cuts = BalancedCuts(hist)
+    split = cuts.split(((0.0, 1.0),), 0)
+    assert split < 0.2  # the median sits in the heavy cluster
+
+
+def test_balanced_cuts_empty_histogram_falls_back():
+    cuts = BalancedCuts(MultiDimHistogram(2, 4))
+    assert cuts.split(((0.0, 1.0), (0.0, 1.0)), 1) == 0.5
+
+
+def test_wire_round_trip_even():
+    clone = strategy_from_wire(EvenCuts().to_wire())
+    assert isinstance(clone, EvenCuts)
+
+
+def test_wire_round_trip_balanced():
+    hist = MultiDimHistogram(2, 8)
+    hist.add((0.3, 0.7), weight=5.0)
+    clone = strategy_from_wire(BalancedCuts(hist).to_wire())
+    assert isinstance(clone, BalancedCuts)
+    assert clone.histogram.cell_counts() == hist.cell_counts()
+    rect = ((0.0, 1.0), (0.0, 1.0))
+    assert clone.split(rect, 0) == BalancedCuts(hist).split(rect, 0)
+
+
+def test_unknown_strategy_kind():
+    with pytest.raises(ValueError):
+        strategy_from_wire({"kind": "mystery"})
+
+
+def test_histogram_shifted():
+    hist = MultiDimHistogram(2, 8)
+    hist.add((0.1, 0.1))
+    hist.add((0.2, 0.9))
+    moved = hist.shifted(0, 0.25)  # +2 bins along dim 0
+    cells = moved.cell_counts()
+    assert cells == {(2, 0): 1.0, (3, 7): 1.0}
+    assert hist.cell_counts() != cells  # original untouched
+
+
+def test_histogram_shifted_clamps_at_edge():
+    hist = MultiDimHistogram(1, 4)
+    hist.add((0.9,))
+    moved = hist.shifted(0, 0.9)
+    assert moved.cell_counts() == {(3,): 1.0}
+
+
+def test_histogram_shifted_bad_dim():
+    with pytest.raises(IndexError):
+        MultiDimHistogram(1, 4).shifted(3, 0.1)
+
+
+def test_per_dimension_granularity():
+    hist = MultiDimHistogram(2, (4, 16))
+    hist.add((0.3, 0.3))
+    assert hist.grains == (4, 16)
+    assert hist.cell_counts() == {(1, 4): 1.0}
+    with pytest.raises(ValueError):
+        MultiDimHistogram(2, (4,))
+    with pytest.raises(ValueError):
+        MultiDimHistogram(2, (4, 0))

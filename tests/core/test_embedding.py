@@ -1,0 +1,140 @@
+"""Unit and property tests for the data-space embedding."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cuts import BalancedCuts, EvenCuts
+from repro.core.embedding import Embedding
+from repro.core.histogram import MultiDimHistogram
+from repro.core.query import rect_contains_point
+from repro.core.schema import AttributeSpec, IndexSchema
+from repro.overlay.code import Code
+
+
+def schema2d():
+    return IndexSchema(
+        "e", attributes=[AttributeSpec("x", 0.0, 100.0), AttributeSpec("y", 0.0, 10.0)]
+    )
+
+
+def test_even_point_code_first_bits():
+    emb = Embedding(schema2d(), EvenCuts(), code_depth=4)
+    # x=25 -> 0.25 (left half, bit 0); y=7.5 -> 0.75 (top half, bit 1).
+    code = emb.point_code([25.0, 7.5])
+    assert code.bits[:2] == "01"
+    assert len(code) == 4
+
+
+def test_point_code_respects_depth():
+    emb = Embedding(schema2d(), EvenCuts(), code_depth=10)
+    assert len(emb.point_code([1, 1], depth=3)) == 3
+
+
+def test_region_rect_even():
+    emb = Embedding(schema2d(), EvenCuts())
+    rect = emb.region_rect(Code("01"))
+    assert rect == ((0.0, 0.5), (0.5, 1.0))
+
+
+def test_region_rect_root_is_full_space():
+    emb = Embedding(schema2d(), EvenCuts())
+    assert emb.region_rect(Code("")) == ((0.0, 1.0), (0.0, 1.0))
+
+
+def test_point_lands_in_own_region():
+    emb = Embedding(schema2d(), EvenCuts(), code_depth=8)
+    rng = random.Random(4)
+    for _ in range(200):
+        raw = [rng.uniform(0, 100), rng.uniform(0, 10)]
+        code = emb.point_code(raw)
+        rect = emb.region_rect(code)
+        assert rect_contains_point(rect, emb.schema.normalize(raw))
+
+
+def test_query_prefix_contains_query():
+    emb = Embedding(schema2d(), EvenCuts(), code_depth=12)
+    qrect = ((0.1, 0.2), (0.6, 0.7))
+    prefix = emb.query_prefix(qrect)
+    region = emb.region_rect(prefix)
+    for (qlo, qhi), (rlo, rhi) in zip(qrect, region):
+        assert rlo <= qlo and qhi <= rhi
+    # Descending one more step must fail to contain the query (maximality):
+    # the prefix is where the query first straddles a cut.
+    assert len(prefix) > 0
+
+
+def test_query_prefix_straddling_root_is_empty():
+    emb = Embedding(schema2d(), EvenCuts())
+    assert emb.query_prefix(((0.4, 0.6), (0.0, 1.0))) == Code("")
+
+
+def test_balanced_cuts_equalize_storage():
+    # Skewed data: balanced cuts should put ~equal mass in each leaf.
+    schema = schema2d()
+    hist = MultiDimHistogram(2, 64)
+    rng = random.Random(5)
+    points = []
+    for _ in range(4000):
+        p = (min(0.999, rng.expovariate(8.0)), min(0.999, rng.betavariate(2, 8)))
+        points.append(p)
+        hist.add(p)
+    emb = Embedding(schema, BalancedCuts(hist), code_depth=4)
+
+    counts = {}
+    for p in points:
+        raw = [p[0] * 100.0, p[1] * 10.0]
+        code = emb.point_code(raw, depth=4).bits
+        counts[code] = counts.get(code, 0) + 1
+    assert len(counts) == 16
+    imbalance = max(counts.values()) / min(counts.values())
+    assert imbalance < 2.0, f"balanced cuts left imbalance {imbalance}"
+
+
+def test_even_cuts_skewed_data_imbalanced():
+    # The contrast case for Figure 13: even cuts on skewed data.
+    schema = schema2d()
+    rng = random.Random(6)
+    emb = Embedding(schema, EvenCuts(), code_depth=4)
+    counts = {}
+    for _ in range(4000):
+        raw = [min(99.9, rng.expovariate(8.0) * 100.0), rng.uniform(0, 10)]
+        code = emb.point_code(raw, depth=4).bits
+        counts[code] = counts.get(code, 0) + 1
+    assert max(counts.values()) / max(1, min(counts.values())) > 4.0
+
+
+def test_wire_round_trip_preserves_codes():
+    hist = MultiDimHistogram(2, 16)
+    rng = random.Random(7)
+    for _ in range(500):
+        hist.add((rng.random(), rng.random()))
+    emb = Embedding(schema2d(), BalancedCuts(hist), code_depth=8)
+    clone = Embedding.from_wire(emb.to_wire())
+    for _ in range(100):
+        raw = [rng.uniform(0, 100), rng.uniform(0, 10)]
+        assert clone.point_code(raw) == emb.point_code(raw)
+
+
+def test_region_raw_ranges():
+    emb = Embedding(schema2d(), EvenCuts())
+    ranges = emb.region_raw_ranges(Code("10"))
+    assert ranges[0] == (50.0, 100.0)
+    assert ranges[1] == (0.0, 5.0)
+
+
+@settings(max_examples=40)
+@given(
+    st.floats(min_value=0, max_value=99.999),
+    st.floats(min_value=0, max_value=9.999),
+)
+def test_sibling_regions_partition_parent(x, y):
+    emb = Embedding(schema2d(), EvenCuts(), code_depth=6)
+    code = emb.point_code([x, y], depth=5)
+    parent = code.shorten()
+    sib = code.sibling()
+    point = emb.schema.normalize([x, y])
+    assert rect_contains_point(emb.region_rect(parent), point)
+    assert not rect_contains_point(emb.region_rect(sib), point)

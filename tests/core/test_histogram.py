@@ -1,0 +1,160 @@
+"""Unit and property tests for sparse histograms and the mismatch metric."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import MultiDimHistogram, mismatch
+
+unit = st.floats(min_value=0.0, max_value=0.999999)
+
+
+def test_add_and_total():
+    h = MultiDimHistogram(2, 4)
+    h.add((0.1, 0.9))
+    h.add((0.1, 0.9))
+    h.add((0.6, 0.2), weight=3.0)
+    assert h.total == 5.0
+    assert h.occupied_cells == 2
+
+
+def test_dimension_checks():
+    h = MultiDimHistogram(2, 4)
+    with pytest.raises(ValueError):
+        h.add((0.5,))
+    with pytest.raises(ValueError):
+        MultiDimHistogram(0, 4)
+    with pytest.raises(ValueError):
+        MultiDimHistogram(2, 0)
+
+
+def test_out_of_range_points_clamp_to_edge_bins():
+    h = MultiDimHistogram(1, 4)
+    h.add((1.5,))
+    h.add((-0.5,))
+    cells = h.cell_counts()
+    assert cells == {(3,): 1.0, (0,): 1.0}
+
+
+def test_count_in_rect_full_space():
+    h = MultiDimHistogram(2, 8)
+    rng = random.Random(1)
+    for _ in range(500):
+        h.add((rng.random(), rng.random()))
+    assert h.count_in_rect(((0.0, 1.0), (0.0, 1.0))) == pytest.approx(500.0)
+
+
+def test_count_in_rect_partial_bins():
+    h = MultiDimHistogram(1, 2)
+    h.add((0.25,))  # bin [0, 0.5)
+    # Half the bin is covered; uniform-within-bin assumption gives 0.5.
+    assert h.count_in_rect(((0.0, 0.25),)) == pytest.approx(0.5)
+
+
+def test_split_point_balances_mass():
+    h = MultiDimHistogram(1, 64)
+    rng = random.Random(2)
+    # Heavily skewed mass near zero.
+    for _ in range(2000):
+        h.add((min(0.999, rng.expovariate(10.0)),))
+    split = h.split_point(((0.0, 1.0),), 0)
+    left = h.count_in_rect(((0.0, split),))
+    right = h.count_in_rect(((split, 1.0),))
+    assert left == pytest.approx(right, rel=0.1)
+    assert split < 0.3  # the median of an Exp(10) sample is ~0.07
+
+
+def test_split_point_empty_rect_falls_back_to_midpoint():
+    h = MultiDimHistogram(2, 4)
+    assert h.split_point(((0.2, 0.6), (0.0, 1.0)), 0) == pytest.approx(0.4)
+
+
+def test_split_point_stays_inside_rect():
+    h = MultiDimHistogram(1, 4)
+    for _ in range(100):
+        h.add((0.01,))
+    split = h.split_point(((0.0, 1.0),), 0)
+    assert 0.0 < split < 1.0
+
+
+def test_merge():
+    a = MultiDimHistogram(2, 4)
+    b = MultiDimHistogram(2, 4)
+    a.add((0.1, 0.1))
+    b.add((0.1, 0.1))
+    b.add((0.9, 0.9))
+    a.merge(b)
+    assert a.total == 3.0
+    with pytest.raises(ValueError):
+        a.merge(MultiDimHistogram(2, 8))
+
+
+def test_mismatch_identical_is_zero():
+    a = MultiDimHistogram(2, 4)
+    for x in (0.1, 0.5, 0.9):
+        a.add((x, x))
+    b = MultiDimHistogram(2, 4)
+    for x in (0.1, 0.5, 0.9):
+        b.add((x, x))
+    assert mismatch(a, b) == 0.0
+
+
+def test_mismatch_disjoint_is_one():
+    a = MultiDimHistogram(1, 4)
+    b = MultiDimHistogram(1, 4)
+    for _ in range(10):
+        a.add((0.1,))
+        b.add((0.9,))
+    assert mismatch(a, b) == pytest.approx(1.0)
+    assert mismatch(a, b, normalized=False) == pytest.approx(10.0)
+
+
+def test_wire_round_trip():
+    h = MultiDimHistogram(3, 8)
+    rng = random.Random(3)
+    for _ in range(100):
+        h.add((rng.random(), rng.random(), rng.random()))
+    clone = MultiDimHistogram.from_wire(h.to_wire())
+    assert clone.cell_counts() == h.cell_counts()
+    assert mismatch(h, clone) == 0.0
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(unit, unit), min_size=1, max_size=60))
+def test_count_in_rect_never_exceeds_total(points):
+    h = MultiDimHistogram(2, 8)
+    for p in points:
+        h.add(p)
+    rect = ((0.1, 0.7), (0.3, 0.9))
+    assert -1e-9 <= h.count_in_rect(rect) <= h.total + 1e-9
+
+
+@settings(max_examples=30)
+@given(st.lists(unit, min_size=5, max_size=80))
+def test_split_halves_sum_to_total(xs):
+    h = MultiDimHistogram(1, 16)
+    for x in xs:
+        h.add((x,))
+    split = h.split_point(((0.0, 1.0),), 0)
+    left = h.count_in_rect(((0.0, split),))
+    right = h.count_in_rect(((split, 1.0),))
+    assert left + right == pytest.approx(h.total, rel=1e-6)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.tuples(unit, unit), min_size=1, max_size=40),
+    st.lists(st.tuples(unit, unit), min_size=1, max_size=40),
+)
+def test_mismatch_is_symmetric_and_bounded(pa, pb):
+    a = MultiDimHistogram(2, 4)
+    b = MultiDimHistogram(2, 4)
+    for p in pa:
+        a.add(p)
+    for p in pb:
+        b.add(p)
+    m = mismatch(a, b)
+    assert m == pytest.approx(mismatch(b, a))
+    assert 0.0 <= m <= max(a.total, b.total) / ((a.total + b.total) / 2.0) + 1e-9

@@ -1,0 +1,90 @@
+"""Unit tests for range queries and rectangle algebra."""
+
+import pytest
+
+from repro.core.query import (
+    RangeQuery,
+    full_rect,
+    rect_contains_point,
+    rect_intersection,
+)
+from repro.core.records import Record
+from repro.core.schema import AttributeSpec, IndexSchema
+
+
+@pytest.fixture
+def schema():
+    return IndexSchema(
+        "idx2",
+        attributes=[
+            AttributeSpec("dest", 0.0, 256.0),
+            AttributeSpec("timestamp", 0.0, 86400.0, is_time=True),
+            AttributeSpec("octets", 0.0, 2e6),
+        ],
+    )
+
+
+def test_interval_lookup(schema):
+    q = RangeQuery("idx2", {"dest": (10, 20), "octets": (1000, None)})
+    assert q.interval("dest") == (10, 20)
+    assert q.interval("octets") == (1000, None)
+    assert q.interval("timestamp") == (None, None)
+
+
+def test_unknown_attribute_rejected(schema):
+    q = RangeQuery("idx2", {"bogus": (0, 1)})
+    with pytest.raises(KeyError):
+        q.intervals_for(schema)
+
+
+def test_matches_half_open(schema):
+    q = RangeQuery("idx2", {"dest": (10, 20)})
+    assert q.matches(schema, Record([10.0, 0.0, 0.0]))
+    assert q.matches(schema, Record([19.999, 0.0, 0.0]))
+    assert not q.matches(schema, Record([20.0, 0.0, 0.0]))
+    assert not q.matches(schema, Record([9.999, 0.0, 0.0]))
+
+
+def test_matches_wildcard_dimension(schema):
+    q = RangeQuery("idx2", {"octets": (1e5, None)})
+    assert q.matches(schema, Record([123.0, 500.0, 2e5]))
+    assert not q.matches(schema, Record([123.0, 500.0, 2e4]))
+
+
+def test_normalized_rect_bounds(schema):
+    q = RangeQuery("idx2", {"dest": (64, 128), "octets": (1e6, None)})
+    rect = q.normalized_rect(schema)
+    assert rect[0] == (0.25, 0.5)
+    assert rect[1] == (0.0, 1.0)
+    assert rect[2][0] == pytest.approx(0.5)
+    assert rect[2][1] == 1.0
+
+
+def test_normalized_rect_clamps_above_domain(schema):
+    q = RangeQuery("idx2", {"octets": (0, 5e9)})
+    rect = q.normalized_rect(schema)
+    assert rect[2] == (0.0, 1.0)
+
+
+def test_wire_round_trip(schema):
+    q = RangeQuery("idx2", {"dest": (10, 20), "octets": (None, 5)})
+    clone = RangeQuery.from_wire(q.to_wire())
+    assert clone == q
+
+
+def test_rect_intersection():
+    a = ((0.0, 0.5), (0.0, 1.0))
+    b = ((0.25, 1.0), (0.5, 0.75))
+    assert rect_intersection(a, b) == ((0.25, 0.5), (0.5, 0.75))
+    c = ((0.5, 1.0), (0.0, 1.0))
+    assert rect_intersection(a, c) is None
+
+
+def test_rect_contains_point_closed_top():
+    rect = ((0.0, 1.0), (0.5, 1.0))
+    assert rect_contains_point(rect, (0.999999, 0.999999))
+    assert not rect_contains_point(rect, (0.5, 0.4))
+
+
+def test_full_rect():
+    assert full_rect(2) == ((0.0, 1.0), (0.0, 1.0))

@@ -1,0 +1,90 @@
+"""End-to-end daily rebalancing cycle (Section 3.7's full loop).
+
+Day 0 is inserted under even cuts and piles onto a few nodes; the cluster
+then collects the day-0 histogram on-line, installs day-1 balanced cuts,
+and day 1's (stationary) traffic spreads across the overlay.  Queries over
+both days stay exact.
+"""
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, MindCluster
+from repro.core.query import RangeQuery
+from repro.core.records import Record
+from repro.core.schema import AttributeSpec, IndexSchema
+from repro.net.topology import ABILENE_SITES
+
+DAY = 86400.0
+
+
+def skewed_record(rng, day):
+    # Heavy skew on x, stationary across days.
+    x = min(999.0, rng.expovariate(8.0) * 1000.0)
+    t = day * DAY + rng.uniform(0, DAY)
+    return Record([x, t])
+
+
+@pytest.fixture(scope="module")
+def cycle():
+    config = ClusterConfig(seed=111, track_ground_truth=True)
+    cluster = MindCluster(ABILENE_SITES, config)
+    cluster.build()
+    schema = IndexSchema(
+        "cyc",
+        attributes=[
+            AttributeSpec("x", 0.0, 1000.0),
+            AttributeSpec("timestamp", 0.0, 7 * DAY, is_time=True),
+        ],
+    )
+    cluster.create_index(schema)
+
+    rng = cluster.sim.rng("t.cycle")
+    base = cluster.sim.now
+    for i in range(300):
+        cluster.schedule_insert("cyc", skewed_record(rng, 0), ABILENE_SITES[i % 11].name, base + i * 0.02)
+    cluster.advance(30.0)
+    day0_dist = cluster.storage_distribution("cyc")
+
+    cluster.rebalance_daily("cyc", day_start=DAY, granularity=(4096, 8192))
+
+    base = cluster.sim.now
+    for i in range(300):
+        cluster.schedule_insert("cyc", skewed_record(rng, 1), ABILENE_SITES[i % 11].name, base + i * 0.02)
+    cluster.advance(30.0)
+    day1_dist = {
+        addr: total - day0_dist.get(addr, 0)
+        for addr, total in cluster.storage_distribution("cyc").items()
+    }
+    return cluster, day0_dist, day1_dist
+
+
+def top_share(dist):
+    total = sum(dist.values())
+    return max(dist.values()) / total if total else 0.0
+
+
+def test_day0_is_imbalanced(cycle):
+    _, day0, _ = cycle
+    assert sum(day0.values()) == 300
+    assert top_share(day0) > 0.3
+
+
+def test_day1_is_balanced(cycle):
+    _, day0, day1 = cycle
+    assert sum(day1.values()) == 300
+    assert top_share(day1) < top_share(day0) / 1.5
+    assert sum(1 for c in day1.values() if c == 0) <= 2
+
+
+def test_version_installed_everywhere(cycle):
+    cluster, _, _ = cycle
+    assert all(n.has_version_at("cyc", DAY) for n in cluster.nodes)
+
+
+def test_queries_exact_across_rebalance(cycle):
+    cluster, _, _ = cycle
+    for interval in [(0, DAY), (DAY, 2 * DAY), (0.7 * DAY, 1.3 * DAY)]:
+        query = RangeQuery("cyc", {"timestamp": interval})
+        metric = cluster.query_now(query, origin="KSCY")
+        assert metric.complete
+        assert metric.record_keys == cluster.reference_answer(query)

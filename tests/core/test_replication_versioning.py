@@ -1,0 +1,109 @@
+"""Unit tests for replica placement and index versioning."""
+
+import pytest
+
+from repro.core.cuts import EvenCuts
+from repro.core.embedding import Embedding
+from repro.core.replication import FULL_REPLICATION, replica_targets
+from repro.core.schema import AttributeSpec, IndexSchema
+from repro.core.versioning import VersionedEmbedding
+from repro.overlay.code import Code
+
+
+def test_paper_example():
+    # Node 000000 with m=3 replicates to 000001, 000010 and 000100.
+    targets = replica_targets(Code("000000"), 3)
+    assert [t.bits for t in targets] == ["000001", "000010", "000100"]
+
+
+def test_level_zero_no_replicas():
+    assert replica_targets(Code("0101"), 0) == []
+
+
+def test_full_replication_covers_every_dimension():
+    targets = replica_targets(Code("0101"), FULL_REPLICATION)
+    assert len(targets) == 4
+    assert len(set(targets)) == 4
+    for t in targets:
+        # Each target differs from the node code in exactly one bit.
+        assert sum(a != b for a, b in zip(t.bits, "0101")) == 1
+
+
+def test_level_capped_at_code_length():
+    assert len(replica_targets(Code("01"), 10)) == 2
+
+
+def test_negative_level_rejected():
+    with pytest.raises(ValueError):
+        replica_targets(Code("01"), -2)
+
+
+def test_root_code_has_no_replicas():
+    assert replica_targets(Code(""), FULL_REPLICATION) == []
+
+
+# ---------------------------------------------------------------------------
+# Versioning
+# ---------------------------------------------------------------------------
+
+def _embedding():
+    schema = IndexSchema(
+        "v",
+        attributes=[
+            AttributeSpec("x", 0.0, 1.0),
+            AttributeSpec("timestamp", 0.0, 1e6, is_time=True),
+        ],
+    )
+    return Embedding(schema, EvenCuts(), code_depth=4)
+
+
+def test_initial_version_covers_all_time():
+    v = VersionedEmbedding(_embedding())
+    assert v.for_time(-1e12) is v.latest()
+    assert v.for_time(1e12) is v.latest()
+
+
+def test_install_and_select():
+    first = _embedding()
+    second = _embedding()
+    v = VersionedEmbedding(first)
+    v.install(86400.0, second)
+    assert v.for_time(0.0) is first
+    assert v.for_time(86399.9) is first
+    assert v.for_time(86400.0) is second
+    assert v.for_time(1e9) is second
+    assert v.latest() is second
+
+
+def test_version_index_for_time():
+    v = VersionedEmbedding(_embedding())
+    v.install(100.0, _embedding())
+    v.install(200.0, _embedding())
+    assert v.version_index_for_time(50.0) == 0
+    assert v.version_index_for_time(150.0) == 1
+    assert v.version_index_for_time(250.0) == 2
+
+
+def test_duplicate_valid_from_rejected():
+    v = VersionedEmbedding(_embedding())
+    v.install(100.0, _embedding())
+    with pytest.raises(ValueError):
+        v.install(100.0, _embedding())
+
+
+def test_out_of_order_installs_sorted():
+    v = VersionedEmbedding(_embedding())
+    late = _embedding()
+    early = _embedding()
+    v.install(200.0, late)
+    v.install(100.0, early)
+    assert v.for_time(150.0) is early
+    assert v.for_time(250.0) is late
+
+
+def test_wire_round_trip():
+    v = VersionedEmbedding(_embedding())
+    v.install(86400.0, _embedding())
+    clone = VersionedEmbedding.from_wire(v.to_wire())
+    assert len(clone.versions) == 2
+    assert clone.version_index_for_time(90000.0) == 1

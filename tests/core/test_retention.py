@@ -1,0 +1,49 @@
+"""Tests for version retention (the paper's deferred storage management)."""
+
+import pytest
+
+from repro.core.cuts import EvenCuts
+from repro.core.embedding import Embedding
+from repro.core.schema import AttributeSpec, IndexSchema
+from repro.core.versioning import VersionedEmbedding
+
+
+def _embedding():
+    schema = IndexSchema(
+        "v",
+        attributes=[
+            AttributeSpec("x", 0.0, 1.0),
+            AttributeSpec("timestamp", 0.0, 1e6, is_time=True),
+        ],
+    )
+    return Embedding(schema, EvenCuts(), code_depth=4)
+
+
+def test_retire_before_drops_superseded():
+    v = VersionedEmbedding(_embedding())
+    day1, day2, day3 = _embedding(), _embedding(), _embedding()
+    v.install(86400.0, day1)
+    v.install(2 * 86400.0, day2)
+    v.install(3 * 86400.0, day3)
+    removed = v.retire_before(2 * 86400.0)
+    assert removed == 2
+    assert len(v.versions) == 2
+    # Times at or after the cutoff still resolve correctly.
+    assert v.for_time(2.5 * 86400.0) is day2
+    assert v.for_time(4 * 86400.0) is day3
+
+
+def test_retire_keeps_newest():
+    v = VersionedEmbedding(_embedding())
+    v.install(100.0, _embedding())
+    removed = v.retire_before(1e12)
+    assert removed == 1
+    assert len(v.versions) == 1
+    assert v.latest() is v.for_time(0.0)
+
+
+def test_retire_noop_when_nothing_superseded():
+    v = VersionedEmbedding(_embedding())
+    v.install(100.0, _embedding())
+    assert v.retire_before(50.0) == 0
+    assert len(v.versions) == 2

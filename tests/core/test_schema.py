@@ -1,0 +1,88 @@
+"""Unit tests for index schemas and attribute normalization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.schema import AttributeSpec, IndexSchema
+
+
+def make_schema():
+    return IndexSchema(
+        "idx",
+        attributes=[
+            AttributeSpec("dest", 0.0, 2**32),
+            AttributeSpec("timestamp", 0.0, 86400.0, is_time=True),
+            AttributeSpec("octets", 0.0, 2e6),
+        ],
+        payload_names=("source", "node"),
+    )
+
+
+def test_basic_properties():
+    schema = make_schema()
+    assert schema.dimensions == 3
+    assert schema.attribute_names == ["dest", "timestamp", "octets"]
+    assert schema.time_dimension() == 1
+    assert schema.payload_names == ("source", "node")
+
+
+def test_invalid_domain_rejected():
+    with pytest.raises(ValueError):
+        AttributeSpec("x", 5.0, 5.0)
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(ValueError):
+        IndexSchema("x", attributes=[])
+    with pytest.raises(ValueError):
+        IndexSchema("", attributes=[AttributeSpec("a", 0, 1)])
+
+
+def test_duplicate_attribute_rejected():
+    with pytest.raises(ValueError):
+        IndexSchema("x", attributes=[AttributeSpec("a", 0, 1), AttributeSpec("a", 0, 2)])
+
+
+def test_two_time_attributes_rejected():
+    with pytest.raises(ValueError):
+        IndexSchema(
+            "x",
+            attributes=[
+                AttributeSpec("a", 0, 1, is_time=True),
+                AttributeSpec("b", 0, 1, is_time=True),
+            ],
+        )
+
+
+def test_normalize_clamps_to_top():
+    attr = AttributeSpec("octets", 0.0, 2e6)
+    # The paper assigns out-of-bound tuples the largest possible range.
+    assert attr.normalize(5e9) < 1.0
+    assert attr.normalize(5e9) > 0.999
+    assert attr.normalize(-10) == 0.0
+    assert attr.normalize(1e6) == pytest.approx(0.5)
+
+
+def test_normalize_vector_length_checked():
+    schema = make_schema()
+    with pytest.raises(ValueError):
+        schema.normalize([1.0, 2.0])
+
+
+def test_wire_round_trip():
+    schema = make_schema()
+    clone = IndexSchema.from_wire(schema.to_wire())
+    assert clone == schema
+
+
+@given(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False))
+def test_normalize_always_in_unit_interval(value):
+    attr = AttributeSpec("x", -100.0, 1000.0)
+    assert 0.0 <= attr.normalize(value) < 1.0
+
+
+@given(st.floats(min_value=0.0, max_value=0.999999))
+def test_denormalize_inverts_normalize(x):
+    attr = AttributeSpec("x", 10.0, 50.0)
+    assert attr.normalize(attr.denormalize(x)) == pytest.approx(x, abs=1e-9)

@@ -1,0 +1,100 @@
+"""Queries spanning multiple daily index versions (Section 3.7 semantics).
+
+Records stored under different versions live at different nodes (each
+version has its own cut tree); a query whose time interval crosses a
+version boundary must consult every version it overlaps.
+"""
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, MindCluster
+from repro.core.cuts import BalancedCuts, EvenCuts
+from repro.core.embedding import Embedding
+from repro.core.histogram import MultiDimHistogram
+from repro.core.query import RangeQuery
+from repro.core.records import Record
+from repro.core.schema import AttributeSpec, IndexSchema
+from repro.net.topology import ABILENE_SITES
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    config = ClusterConfig(seed=101, track_ground_truth=True)
+    c = MindCluster(ABILENE_SITES, config)
+    c.build()
+    schema = IndexSchema(
+        "vs",
+        attributes=[
+            AttributeSpec("x", 0.0, 1000.0),
+            AttributeSpec("timestamp", 0.0, 7 * DAY, is_time=True),
+        ],
+    )
+    c.create_index(schema)
+
+    # Day-1 version: balanced cuts from a deliberately lopsided histogram,
+    # so day-0 and day-1 records map to very different nodes.
+    hist = MultiDimHistogram(2, (64, 4096))
+    rng = c.sim.rng("t.vs.hist")
+    for _ in range(500):
+        hist.add((min(0.999, rng.expovariate(12.0)), 1.0 / 7.0 + rng.random() / 7.0))
+    c.install_version("vs", DAY, Embedding(schema, BalancedCuts(hist), code_depth=12))
+
+    rng2 = c.sim.rng("t.vs.data")
+    base = c.sim.now
+    for i in range(80):
+        day0 = Record([rng2.uniform(0, 1000), rng2.uniform(0, DAY)])
+        day1 = Record([rng2.uniform(0, 1000), rng2.uniform(DAY, 2 * DAY)])
+        c.schedule_insert("vs", day0, ABILENE_SITES[i % 11].name, base + i * 0.05)
+        c.schedule_insert("vs", day1, ABILENE_SITES[(i + 3) % 11].name, base + i * 0.05 + 0.02)
+    c.advance(40.0)
+    return c
+
+
+def test_single_version_query(cluster):
+    query = RangeQuery("vs", {"timestamp": (0.0, DAY)})
+    metric = cluster.query_now(query, origin="CHIN")
+    assert metric.complete
+    assert metric.record_keys == cluster.reference_answer(query)
+    assert len(metric.record_keys) == 80
+
+
+def test_cross_boundary_query_sees_both_versions(cluster):
+    query = RangeQuery("vs", {"timestamp": (0.5 * DAY, 1.5 * DAY)})
+    metric = cluster.query_now(query, origin="NYCM")
+    assert metric.complete
+    expected = cluster.reference_answer(query)
+    assert metric.record_keys == expected
+    # Sanity: the interval genuinely has records on both sides.
+    day0 = sum(1 for r in metric.results if r.values[1] < DAY)
+    day1 = sum(1 for r in metric.results if r.values[1] >= DAY)
+    assert day0 > 0 and day1 > 0
+
+
+def test_unbounded_time_query_spans_all_versions(cluster):
+    query = RangeQuery("vs", {})
+    metric = cluster.query_now(query, origin="LOSA")
+    assert metric.complete
+    assert len(metric.record_keys) == 160
+
+
+def test_second_version_only(cluster):
+    query = RangeQuery("vs", {"timestamp": (DAY, 2 * DAY)})
+    metric = cluster.query_now(query, origin="WASH")
+    assert metric.complete
+    assert metric.record_keys == cluster.reference_answer(query)
+    assert len(metric.record_keys) == 80
+
+
+def test_inserts_use_version_of_their_timestamp(cluster):
+    # A record stamped in day 1 must be embedded with the day-1 cut tree:
+    # the owner under version 1 differs from the owner version 0 would
+    # pick for most coordinates (lopsided histogram).
+    node = cluster.by_address["CHIN"]
+    state = node.indices["vs"]
+    v0 = state.versions.versions[0][1]
+    v1 = state.versions.versions[1][1]
+    values = [500.0, 1.2 * DAY]
+    assert state.versions.for_time(values[1]) is v1
+    assert v0.point_code(values) != v1.point_code(values)

@@ -1,0 +1,79 @@
+"""Shared test utilities: building small overlays and invariant checks."""
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.network import SimNetwork
+from repro.net.topology import Site
+from repro.overlay.code import Code
+from repro.overlay.node import OverlayConfig, OverlayNode
+from repro.sim.kernel import Simulator
+
+
+def make_network(sim: Simulator, sites: Optional[Dict[str, Site]] = None, **kwargs) -> SimNetwork:
+    return SimNetwork(sim, sites or {}, **kwargs)
+
+
+def wire_bootstrap(nodes: Sequence[OverlayNode], network: SimNetwork, sim: Simulator) -> None:
+    """Give every node a bootstrap provider choosing a random live member."""
+    rng = sim.rng("test.bootstrap")
+
+    def provider(addr: str) -> Optional[str]:
+        candidates = sorted(
+            node.address
+            for node in nodes
+            if node.in_overlay() and node.address != addr and network.is_node_up(node.address)
+        )
+        return rng.choice(candidates) if candidates else None
+
+    for node in nodes:
+        node.bootstrap_provider = provider
+
+
+def build_overlay(
+    count: int,
+    seed: int = 0,
+    config: Optional[OverlayConfig] = None,
+    concurrent: bool = False,
+    node_cls=OverlayNode,
+    join_timeout_s: float = 600.0,
+):
+    """Build an overlay of ``count`` nodes; returns (sim, network, nodes).
+
+    With ``concurrent=False`` joins are serialized (each join completes
+    before the next starts); with ``concurrent=True`` all joins start at
+    roughly the same time, exercising the preemption protocol.
+    """
+    sim = Simulator(seed)
+    network = make_network(sim)
+    cfg = config or OverlayConfig()
+    nodes = [node_cls(sim, network, f"n{i}", config=cfg) for i in range(count)]
+    wire_bootstrap(nodes, network, sim)
+    nodes[0].activate_as_root()
+    if concurrent:
+        for node in nodes[1:]:
+            sim.schedule(sim.rng("test.starts").random() * 0.05, _start_join, node)
+        ok = sim.run_until_predicate(
+            lambda: all(n.in_overlay() for n in nodes), timeout=join_timeout_s
+        )
+        assert ok, "overlay did not converge"
+    else:
+        for node in nodes[1:]:
+            _start_join(node)
+            ok = sim.run_until_predicate(node.in_overlay, timeout=join_timeout_s)
+            assert ok, f"{node.address} failed to join"
+    return sim, network, nodes
+
+
+def _start_join(node: OverlayNode) -> None:
+    bootstrap = node.bootstrap_provider(node.address)
+    assert bootstrap is not None
+    node.start_join(bootstrap)
+
+
+def assert_prefix_free_cover(codes: List[Code]) -> None:
+    """The live codes must partition the binary code space exactly."""
+    for i, a in enumerate(codes):
+        for b in codes[i + 1 :]:
+            assert not a.comparable(b), f"codes overlap: {a} vs {b}"
+    total = sum(2.0 ** -len(c) for c in codes)
+    assert abs(total - 1.0) < 1e-9, f"codes cover {total} of the space"

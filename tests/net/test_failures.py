@@ -1,0 +1,80 @@
+"""Unit tests for the failure injector."""
+
+import pytest
+
+from repro.net.failures import FailureInjector
+from repro.net.network import SimNetwork
+from repro.sim.kernel import Simulator
+
+
+def setup():
+    sim = Simulator(seed=3)
+    net = SimNetwork(sim, {})
+    for name in ("a", "b", "c", "d"):
+        net.register(name, lambda m: None)
+    return sim, net
+
+
+def test_crash_and_restore():
+    sim, net = setup()
+    crashed, restored = [], []
+    inj = FailureInjector(sim, net, on_crash=crashed.append, on_restore=restored.append)
+    inj.crash_and_restore("b", at_in_s=1.0, downtime_s=5.0)
+    sim.run_until(2.0)
+    assert not net.is_node_up("b")
+    assert crashed == ["b"]
+    sim.run_until(7.0)
+    assert net.is_node_up("b")
+    assert restored == ["b"]
+
+
+def test_double_crash_idempotent():
+    sim, net = setup()
+    crashed = []
+    inj = FailureInjector(sim, net, on_crash=crashed.append)
+    inj.crash_node("a", at_in_s=1.0)
+    inj.crash_node("a", at_in_s=2.0)
+    sim.run_until(3.0)
+    assert crashed == ["a"]
+
+
+def test_link_outage():
+    sim, net = setup()
+    inj = FailureInjector(sim, net)
+    inj.link_outage("a", "b", start_in_s=1.0, duration_s=3.0)
+    sim.run_until(2.0)
+    assert not net.is_link_up("a", "b")
+    sim.run_until(5.0)
+    assert net.is_link_up("a", "b")
+
+
+def test_link_outage_invalid_duration():
+    sim, net = setup()
+    inj = FailureInjector(sim, net)
+    with pytest.raises(ValueError):
+        inj.link_outage("a", "b", 0.0, -1.0)
+
+
+def test_churn_respects_min_live():
+    sim, net = setup()
+    inj = FailureInjector(sim, net)
+    inj.start_churn(["a", "b", "c", "d"], mean_uptime_s=1.0, mean_downtime_s=100.0, min_live=3)
+    sim.run_until(120.0)
+    live = sum(1 for n in ("a", "b", "c", "d") if net.is_node_up(n))
+    assert live >= 3
+
+
+def test_churn_min_live_validation():
+    sim, net = setup()
+    inj = FailureInjector(sim, net)
+    with pytest.raises(ValueError):
+        inj.start_churn(["a"], 1.0, 1.0, min_live=0)
+
+
+def test_crash_log():
+    sim, net = setup()
+    inj = FailureInjector(sim, net)
+    inj.crash_and_restore("c", 1.0, 2.0)
+    sim.run_until(5.0)
+    events = [(addr, kind) for _, addr, kind in inj.crash_log]
+    assert events == [("c", "crash"), ("c", "restore")]

@@ -1,0 +1,95 @@
+"""Unit tests for sites, distances and the latency model."""
+
+import random
+
+import pytest
+
+from repro.net.latency import LatencyModel, great_circle_km
+from repro.net.topology import (
+    ABILENE_SITES,
+    GEANT_SITES,
+    Site,
+    backbone_sites,
+    sites_by_name,
+    synthetic_planetlab_sites,
+)
+
+
+def site(name, lat, lon, network="test"):
+    return Site(name, lat, lon, network)
+
+
+def test_backbone_site_counts():
+    assert len(ABILENE_SITES) == 11
+    assert len(GEANT_SITES) == 23
+    assert len(backbone_sites()) == 34
+
+
+def test_site_names_unique():
+    names = [s.name for s in backbone_sites()]
+    assert len(set(names)) == len(names)
+
+
+def test_sites_by_name_rejects_duplicates():
+    a = site("X", 0, 0)
+    with pytest.raises(ValueError):
+        sites_by_name([a, a])
+
+
+def test_great_circle_known_distance():
+    nyc = site("NYC", 40.713, -74.006)
+    la = site("LA", 34.052, -118.244)
+    d = great_circle_km(nyc, la)
+    assert 3800 < d < 4100  # ~3,936 km
+
+
+def test_great_circle_zero_for_same_point():
+    a = site("A", 50.0, 8.0)
+    b = site("B", 50.0, 8.0)
+    assert great_circle_km(a, b) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_latency_scales_with_distance():
+    model = LatencyModel(jitter_sigma=0.0, pathology_prob=0.0)
+    rng = random.Random(0)
+    near = model.one_way_s(site("A", 40.0, -74.0), site("B", 41.0, -74.0), rng)
+    far = model.one_way_s(site("A", 40.0, -74.0), site("C", 34.0, -118.0), rng)
+    assert far > near
+    # Transatlantic one-way should be tens of milliseconds.
+    eu = model.one_way_s(site("A", 40.7, -74.0), site("D", 51.5, -0.1), rng)
+    assert 0.02 < eu < 0.1
+
+
+def test_latency_jitter_varies():
+    model = LatencyModel(pathology_prob=0.0)
+    rng = random.Random(1)
+    a, b = site("A", 40.0, -74.0), site("B", 48.0, 2.0)
+    samples = {model.one_way_s(a, b, rng) for _ in range(10)}
+    assert len(samples) == 10
+
+
+def test_pathology_adds_heavy_tail():
+    model = LatencyModel(pathology_prob=1.0, pathology_scale_s=0.5)
+    rng = random.Random(2)
+    a, b = site("A", 40.0, -74.0), site("B", 41.0, -74.0)
+    assert model.one_way_s(a, b, rng) > 0.5
+
+
+def test_invalid_pathology_prob():
+    with pytest.raises(ValueError):
+        LatencyModel(pathology_prob=1.5)
+
+
+def test_synthetic_sites():
+    rng = random.Random(3)
+    sites = synthetic_planetlab_sites(102, rng)
+    assert len(sites) == 102
+    assert len({s.name for s in sites}) == 102
+    assert all(s.network == "planetlab" for s in sites)
+    regions = {s.name.rsplit("-", 1)[-1] for s in sites}
+    assert regions == {"eu", "no"} or regions  # NA and EU tags present
+
+
+def test_synthetic_sites_negative_count():
+    with pytest.raises(ValueError):
+        synthetic_planetlab_sites(-1, random.Random(0))

@@ -1,0 +1,162 @@
+"""Unit tests for the simulated network layer."""
+
+import pytest
+
+from repro.net.message import HEADER_BYTES, Message
+from repro.net.network import SimNetwork
+from repro.net.topology import Site
+from repro.sim.kernel import Simulator
+
+
+def make_net(sites=None, **kwargs):
+    sim = Simulator(seed=1)
+    return sim, SimNetwork(sim, sites or {}, **kwargs)
+
+
+def test_message_header_overhead():
+    msg = Message("a", "b", "k", size_bytes=100)
+    assert msg.size_bytes == 100 + HEADER_BYTES
+
+
+def test_message_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Message("a", "b", "k", size_bytes=-1)
+
+
+def test_register_and_deliver():
+    sim, net = make_net()
+    got = []
+    net.register("a", got.append)
+    net.register("b", got.append)
+    net.send("a", "b", "ping", {"x": 1})
+    sim.run_until_idle()
+    assert len(got) == 1
+    assert got[0].kind == "ping"
+    assert got[0].payload == {"x": 1}
+
+
+def test_duplicate_registration_rejected():
+    sim, net = make_net()
+    net.register("a", lambda m: None)
+    with pytest.raises(ValueError):
+        net.register("a", lambda m: None)
+
+
+def test_unknown_destination_fails():
+    sim, net = make_net()
+    net.register("a", lambda m: None)
+    failures = []
+    net.send("a", "ghost", "ping", on_fail=lambda m, r: failures.append(r))
+    sim.run_until_idle()
+    assert failures == ["unknown-destination"]
+
+
+def test_link_down_fails_send():
+    sim, net = make_net()
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: None)
+    net.set_link_down("a", "b", duration_s=10.0)
+    failures = []
+    net.send("a", "b", "ping", on_fail=lambda m, r: failures.append(r))
+    sim.run_until_idle()
+    assert failures == ["link-down"]
+    assert not net.is_link_up("a", "b")
+    assert not net.is_link_up("b", "a")  # bidirectional by default
+
+
+def test_link_recovers_after_duration():
+    sim, net = make_net()
+    got = []
+    net.register("a", lambda m: None)
+    net.register("b", got.append)
+    net.set_link_down("a", "b", duration_s=5.0)
+    sim.run_until(6.0)
+    assert net.is_link_up("a", "b")
+    net.send("a", "b", "ping")
+    sim.run_until_idle()
+    assert len(got) == 1
+
+
+def test_peer_down_fails_send():
+    sim, net = make_net()
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: None)
+    net.set_node_up("b", False)
+    failures = []
+    net.send("a", "b", "ping", on_fail=lambda m, r: failures.append(r))
+    sim.run_until_idle()
+    assert failures == ["peer-down"]
+
+
+def test_crashed_sender_drops_silently():
+    sim, net = make_net()
+    got = []
+    net.register("a", lambda m: None)
+    net.register("b", got.append)
+    net.set_node_up("a", False)
+    net.send("a", "b", "ping")
+    sim.run_until_idle()
+    assert got == []
+    assert net.messages_failed == 1
+
+
+def test_peer_crash_in_flight():
+    sim, net = make_net()
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: None)
+    failures = []
+    net.send("a", "b", "ping", on_fail=lambda m, r: failures.append(r))
+    net.set_node_up("b", False)  # crashes before delivery completes
+    sim.run_until_idle()
+    assert failures == ["peer-down"]
+
+
+def test_bandwidth_serializes_transmissions():
+    # Two 10 kB messages over a 10 kbit/s link: the second waits for the
+    # first's transmission slot.
+    sim, net = make_net(bandwidth_bps=1e4)
+    arrivals = []
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: arrivals.append(sim.now))
+    net.send("a", "b", "x", size_bytes=10_000 - HEADER_BYTES)
+    net.send("a", "b", "y", size_bytes=10_000 - HEADER_BYTES)
+    sim.run_until_idle()
+    assert len(arrivals) == 2
+    assert arrivals[1] - arrivals[0] == pytest.approx(8.0, rel=0.05)
+
+
+def test_link_stats_accumulate():
+    sim, net = make_net(record_link_delays=True)
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: None)
+    net.send("a", "b", "x", tuples=3, size_bytes=100)
+    net.send("a", "b", "y", tuples=2, size_bytes=100)
+    sim.run_until_idle()
+    stats = net.link_stats[("a", "b")]
+    assert stats.messages == 2
+    assert stats.tuples == 5
+    assert stats.bytes == 2 * (100 + HEADER_BYTES)
+    assert len(stats.delay_samples) == 2
+
+
+def test_colocated_nodes_lan_latency():
+    sim, net = make_net()  # no sites -> LAN delays
+    times = []
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: times.append(sim.now))
+    net.send("a", "b", "x")
+    sim.run_until_idle()
+    assert times[0] < 0.005
+
+
+def test_wan_latency_uses_sites():
+    ny = Site("NY", 40.7, -74.0, "t")
+    ldn = Site("LDN", 51.5, -0.1, "t")
+    sim = Simulator(seed=2)
+    net = SimNetwork(sim, {"NY": ny, "LDN": ldn})
+    times = []
+    net.register("NY", lambda m: None)
+    net.register("LDN", lambda m: times.append(sim.now))
+    net.send("NY", "LDN", "x")
+    sim.run_until_idle()
+    assert times[0] > 0.02

@@ -1,0 +1,82 @@
+"""Integration tests for the randomized join protocol."""
+
+import pytest
+
+from repro.overlay.code import Code
+from repro.overlay.node import OverlayConfig
+
+from tests.helpers import assert_prefix_free_cover, build_overlay
+
+
+def overlay_codes(nodes):
+    return [n.code for n in nodes if n.in_overlay()]
+
+
+def test_root_gets_empty_code():
+    sim, network, nodes = build_overlay(1)
+    assert nodes[0].code == Code("")
+
+
+def test_two_nodes_split_root():
+    sim, network, nodes = build_overlay(2)
+    codes = sorted(c.bits for c in overlay_codes(nodes))
+    assert codes == ["0", "1"]
+    assert_prefix_free_cover(overlay_codes(nodes))
+
+
+@pytest.mark.parametrize("count", [3, 5, 8, 16, 21])
+def test_sequential_joins_keep_cover_invariant(count):
+    sim, network, nodes = build_overlay(count, seed=count)
+    assert all(n.in_overlay() for n in nodes)
+    assert_prefix_free_cover(overlay_codes(nodes))
+
+
+@pytest.mark.parametrize("count,seed", [(8, 1), (16, 2), (34, 3)])
+def test_concurrent_joins_converge(count, seed):
+    sim, network, nodes = build_overlay(count, seed=seed, concurrent=True)
+    assert all(n.in_overlay() for n in nodes)
+    assert_prefix_free_cover(overlay_codes(nodes))
+
+
+def test_balanced_with_high_probability():
+    # Code lengths should stay within a small band of log2(N); Adler's
+    # procedure guarantees balance w.h.p., and at 32 nodes sequentially
+    # joined the spread should be modest.
+    sim, network, nodes = build_overlay(32, seed=9)
+    lengths = [len(n.code) for n in nodes]
+    assert max(lengths) - min(lengths) <= 3
+    assert min(lengths) >= 3
+
+
+def test_neighbor_tables_are_symmetricish():
+    # Every node's links must point at live peers with correct codes.
+    sim, network, nodes = build_overlay(12, seed=4)
+    by_addr = {n.address: n for n in nodes}
+    for node in nodes:
+        for addr, code in node.links():
+            assert by_addr[addr].code == code, (
+                f"{node.address} thinks {addr} has {code}, actual {by_addr[addr].code}"
+            )
+
+
+def test_every_node_has_full_dimension_links():
+    sim, network, nodes = build_overlay(16, seed=5)
+    for node in nodes:
+        for dim in range(len(node.code)):
+            assert node.neighbors.dimension_neighbors(node.code, dim), (
+                f"{node.address} ({node.code}) missing dim-{dim} neighbor"
+            )
+
+
+def test_rejoin_after_crash():
+    sim, network, nodes = build_overlay(6, seed=6)
+    victim = nodes[3]
+    network.set_node_up(victim.address, False)
+    victim.crash()
+    sim.run_until(sim.now + 5.0)
+    network.set_node_up(victim.address, True)
+    victim.restore()
+    ok = sim.run_until_predicate(victim.in_overlay, timeout=120.0)
+    assert ok
+    live = [n for n in nodes if n.in_overlay()]
+    assert len(live) == 6

@@ -1,0 +1,67 @@
+"""Liveness mechanics: heartbeats, witness probes, false-positive safety."""
+
+from repro.overlay.node import OverlayConfig
+
+from tests.helpers import build_overlay
+
+
+def live_cfg(**kwargs):
+    defaults = dict(liveness_enabled=True, hb_interval_s=2.0, hb_timeout_s=7.0, adoption_delay_s=2.0)
+    defaults.update(kwargs)
+    return OverlayConfig(**defaults)
+
+
+def test_heartbeats_flow_between_links():
+    sim, network, nodes = build_overlay(6, seed=131, config=live_cfg())
+    before = network.messages_sent
+    sim.run_until(sim.now + 20.0)
+    assert network.messages_sent > before + 6 * 5  # several rounds of beats
+
+
+def test_no_false_death_declarations_when_healthy():
+    sim, network, nodes = build_overlay(10, seed=132, config=live_cfg())
+    sim.run_until(sim.now + 60.0)
+    assert all(n.takeovers == 0 for n in nodes)
+    for node in nodes:
+        for addr, _ in node.links():
+            assert node.neighbors.is_alive(addr)
+
+
+def test_dead_peer_marked_dead_at_neighbors():
+    sim, network, nodes = build_overlay(8, seed=133, config=live_cfg())
+    victim = nodes[2]
+    neighbors = [a for a, _ in victim.links()]
+    network.set_node_up(victim.address, False)
+    victim.crash()
+    sim.run_until(sim.now + 40.0)
+    by_addr = {n.address: n for n in nodes}
+    for addr in neighbors:
+        peer = by_addr[addr]
+        assert not peer.neighbors.is_alive(victim.address), (
+            f"{addr} still believes {victim.address} is alive"
+        )
+
+
+def test_transient_link_break_does_not_kill_peer():
+    # A broken direct link is not a dead peer: the witness probe attests
+    # liveness and no takeover happens.
+    sim, network, nodes = build_overlay(8, seed=134, config=live_cfg(hb_timeout_s=6.0))
+    a = nodes[1]
+    links = a.links()
+    assert links
+    b_addr = links[0][0]
+    network.set_link_down(a.address, b_addr, duration_s=15.0)
+    sim.run_until(sim.now + 30.0)
+    assert all(n.takeovers == 0 for n in nodes), "link break must not trigger takeover"
+
+
+def test_cover_restored_after_death():
+    sim, network, nodes = build_overlay(10, seed=135, config=live_cfg())
+    victim = nodes[4]
+    network.set_node_up(victim.address, False)
+    victim.crash()
+    sim.run_until(sim.now + 90.0)
+    live = [n for n in nodes if n.in_overlay()]
+    covered = sum(2.0 ** -len(n.code) for n in live)
+    covered += sum(2.0 ** -len(r) for n in live for r in n.adopted)
+    assert covered >= 1.0 - 1e-9, "the dead region must be re-homed"

@@ -1,0 +1,133 @@
+"""Greedy routing, dead-end recovery and takeover tests."""
+
+from typing import Any, Dict, List
+
+from repro.overlay.code import Code
+from repro.overlay.node import OverlayConfig, OverlayNode
+from repro.overlay.routing import next_hop
+
+from tests.helpers import build_overlay
+
+
+class RecordingNode(OverlayNode):
+    """Overlay node that records routed-message arrivals and failures."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.arrivals: List[Dict[str, Any]] = []
+        self.failures: List[Dict[str, Any]] = []
+
+    def on_route_arrival(self, envelope):
+        self.arrivals.append(envelope)
+
+    def on_route_failed(self, envelope, reason):
+        self.failures.append({"envelope": envelope, "reason": reason})
+
+
+def find_owner(nodes, target: Code):
+    owners = [n for n in nodes if n.in_overlay() and n.covers(target)]
+    assert len(owners) == 1, f"{len(owners)} owners for {target}"
+    return owners[0]
+
+
+def test_next_hop_arrival_when_comparable():
+    decision = next_hop(Code("01"), Code("0110"), links=[])
+    assert decision.arrived
+
+
+def test_next_hop_picks_longest_match():
+    links = [("a", Code("10")), ("b", Code("110")), ("c", Code("111"))]
+    decision = next_hop(Code("0"), Code("1101"), links)
+    assert decision.next_hop == "b"
+
+
+def test_next_hop_dead_end():
+    decision = next_hop(Code("0"), Code("1101"), links=[], exclude=[])
+    assert not decision.arrived
+    assert decision.next_hop is None
+
+
+def test_all_pairs_routing_delivers_to_owner():
+    sim, network, nodes = build_overlay(16, seed=11, node_cls=RecordingNode)
+    op = 0
+    expected = []
+    for src in nodes:
+        for dst in nodes:
+            target = dst.code
+            op += 1
+            expected.append((dst, op))
+            src.route(target, "probe", {"n": op}, op_id=("t", op))
+    sim.run_until(sim.now + 120.0)
+    for dst, op in expected:
+        assert any(env["inner"]["n"] == op for env in dst.arrivals), (
+            f"op {op} did not arrive at {dst.address}"
+        )
+
+
+def test_routing_hop_count_bounded_by_code_length():
+    sim, network, nodes = build_overlay(32, seed=12, node_cls=RecordingNode)
+    max_len = max(len(n.code) for n in nodes)
+    for i, src in enumerate(nodes):
+        src.route(nodes[-1 - i % len(nodes)].code, "probe", {"i": i}, op_id=("h", i))
+    sim.run_until(sim.now + 120.0)
+    for node in nodes:
+        for env in node.arrivals:
+            assert env["hops"] <= max_len
+
+
+def test_routing_to_deep_target_code():
+    # Targets deeper than any node code (data-item codes) must land on the
+    # unique owner whose code is a prefix of the target.
+    sim, network, nodes = build_overlay(16, seed=13, node_cls=RecordingNode)
+    target = Code(nodes[5].code.bits + "0110")
+    owner = find_owner(nodes, target)
+    assert owner is nodes[5]
+    nodes[0].route(target, "probe", {"deep": True}, op_id="deep1")
+    sim.run_until(sim.now + 60.0)
+    assert any(env["inner"].get("deep") for env in owner.arrivals)
+
+
+def test_route_around_transient_link_failure():
+    sim, network, nodes = build_overlay(16, seed=14, node_cls=RecordingNode)
+    src, dst = nodes[0], nodes[9]
+    # Kill the first-hop link the greedy route would take.
+    decision = next_hop(src.code, dst.code, src.links())
+    assert decision.next_hop is not None
+    network.set_link_down(src.address, decision.next_hop, duration_s=30.0)
+    src.route(dst.code, "probe", {"x": 1}, op_id="transient")
+    sim.run_until(sim.now + 60.0)
+    assert any(env["inner"].get("x") == 1 for env in dst.arrivals)
+
+
+def test_sibling_takeover_after_node_death():
+    cfg = OverlayConfig(liveness_enabled=True, hb_interval_s=2.0, hb_timeout_s=7.0)
+    sim, network, nodes = build_overlay(8, seed=15, node_cls=RecordingNode, config=cfg)
+    victim = nodes[3]
+    sibling_code = victim.code.sibling()
+    siblings = [n for n in nodes if n.code == sibling_code]
+    victim_code = victim.code
+    network.set_node_up(victim.address, False)
+    victim.crash()
+    sim.run_until(sim.now + 60.0)
+    if siblings:
+        assert siblings[0].code == victim_code.shorten()
+    live_covering = [n for n in nodes if n.in_overlay() and n.covers(victim_code)]
+    assert live_covering, "dead region was never taken over"
+
+
+def test_routing_still_works_after_takeover():
+    cfg = OverlayConfig(liveness_enabled=True, hb_interval_s=2.0, hb_timeout_s=7.0)
+    sim, network, nodes = build_overlay(12, seed=16, node_cls=RecordingNode, config=cfg)
+    victim = nodes[5]
+    victim_code = victim.code
+    network.set_node_up(victim.address, False)
+    victim.crash()
+    sim.run_until(sim.now + 90.0)
+    src = nodes[0] if nodes[0] is not victim else nodes[1]
+    src.route(Code(victim_code.bits + "01"), "probe", {"after": 1}, op_id="post-takeover")
+    sim.run_until(sim.now + 90.0)
+    arrived = [
+        n for n in nodes
+        if n is not victim and any(env["inner"].get("after") == 1 for env in n.arrivals)
+    ]
+    assert arrived, "message to dead region was not re-homed"

@@ -1,0 +1,78 @@
+"""Property-style tests: greedy routing converges on random prefix covers."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.code import Code
+from repro.overlay.neighbors import NeighborTable
+from repro.overlay.routing import next_hop
+
+
+def random_cover(rng: random.Random, splits: int):
+    """Build a random prefix-free cover by repeatedly splitting leaves."""
+    leaves = [Code("")]
+    for _ in range(splits):
+        victim = rng.choice(leaves)
+        leaves.remove(victim)
+        leaves.append(victim.extend("0"))
+        leaves.append(victim.extend("1"))
+    return leaves
+
+
+def build_tables(leaves):
+    tables = {}
+    for code in leaves:
+        table = NeighborTable()
+        for other in leaves:
+            if other != code:
+                table.upsert(f"n{other.bits}", other)
+        table.prune_to_neighborhood(code)
+        tables[code] = table
+    return tables
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=1, max_value=40))
+def test_greedy_routing_always_converges(seed, splits):
+    rng = random.Random(seed)
+    leaves = random_cover(rng, splits)
+    tables = build_tables(leaves)
+    target = rng.choice(leaves)
+    deep_target = Code(target.bits + "0101"[: rng.randint(0, 4)])
+
+    current = rng.choice(leaves)
+    hops = 0
+    max_len = max(len(c) for c in leaves)
+    while True:
+        decision = next_hop(
+            current, deep_target, tables[current].hypercube_neighbors(current)
+        )
+        if decision.arrived:
+            break
+        assert decision.next_hop is not None, (
+            f"dead end at {current} toward {deep_target} in cover "
+            f"{[c.bits for c in leaves]}"
+        )
+        nxt = decision.next_code
+        # Strict progress: the common prefix with the target grows.
+        assert nxt.common_prefix_len(deep_target) > current.common_prefix_len(deep_target)
+        current = nxt
+        hops += 1
+        assert hops <= max_len, "routing exceeded the code-length bound"
+    assert current.comparable(deep_target)
+    assert current == target
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32))
+def test_every_node_has_all_dimension_links(seed):
+    rng = random.Random(seed)
+    leaves = random_cover(rng, rng.randint(1, 30))
+    tables = build_tables(leaves)
+    for code in leaves:
+        for dim in range(len(code)):
+            assert tables[code].dimension_neighbors(code, dim), (
+                f"{code} lacks a dim-{dim} link in a complete cover"
+            )

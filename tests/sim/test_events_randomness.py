@@ -1,0 +1,83 @@
+"""Unit tests for the event queue and named random streams."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+from repro.sim.randomness import RandomStreams, derive_seed
+
+
+def test_queue_orders_by_time():
+    q = EventQueue()
+    q.push(3.0, lambda: None, ())
+    q.push(1.0, lambda: None, ())
+    q.push(2.0, lambda: None, ())
+    times = [q.pop().time for _ in range(3)]
+    assert times == [1.0, 2.0, 3.0]
+    assert q.pop() is None
+
+
+def test_queue_fifo_within_same_time():
+    q = EventQueue()
+    events = [q.push(1.0, lambda: None, (i,)) for i in range(5)]
+    popped = [q.pop().args[0] for _ in range(5)]
+    assert popped == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_events_skipped():
+    q = EventQueue()
+    keep = q.push(2.0, lambda: None, ())
+    drop = q.push(1.0, lambda: None, ())
+    drop.cancel()
+    assert q.pop() is keep
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None, ())
+    q.push(2.0, lambda: None, ())
+    first.cancel()
+    assert q.peek_time() == 2.0
+    assert len(q) == 1
+
+
+def test_peek_time_empty():
+    assert EventQueue().peek_time() is None
+
+
+def test_event_len_tracks_pushes():
+    q = EventQueue()
+    assert len(q) == 0
+    q.push(1.0, lambda: None, ())
+    assert len(q) == 1
+
+
+# ---------------------------------------------------------------------------
+# Random streams
+# ---------------------------------------------------------------------------
+
+def test_derive_seed_deterministic():
+    assert derive_seed(42, "x") == derive_seed(42, "x")
+    assert derive_seed(42, "x") != derive_seed(42, "y")
+    assert derive_seed(42, "x") != derive_seed(43, "x")
+
+
+def test_streams_independent_of_draw_order():
+    a = RandomStreams(7)
+    first = a.stream("one").random()
+    _ = [a.stream("two").random() for _ in range(10)]
+
+    b = RandomStreams(7)
+    _ = [b.stream("two").random() for _ in range(10)]
+    assert b.stream("one").random() == first
+
+
+def test_stream_identity_cached():
+    streams = RandomStreams(1)
+    assert streams.stream("s") is streams.stream("s")
+
+
+def test_reset_restores_initial_state():
+    streams = RandomStreams(1)
+    first = streams.stream("s").random()
+    streams.stream("s").random()
+    assert streams.reset("s").random() == first

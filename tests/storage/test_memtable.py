@@ -1,0 +1,103 @@
+"""Unit tests for the time-partitioned store."""
+
+import random
+
+import pytest
+
+from repro.core.records import Record
+from repro.core.schema import AttributeSpec, IndexSchema
+from repro.storage.memtable import TimePartitionedStore
+
+
+@pytest.fixture
+def schema():
+    return IndexSchema(
+        "s",
+        attributes=[
+            AttributeSpec("x", 0.0, 100.0),
+            AttributeSpec("timestamp", 0.0, 86400.0, is_time=True),
+        ],
+    )
+
+
+def test_insert_and_len(schema):
+    store = TimePartitionedStore(schema)
+    assert store.insert(Record([1.0, 10.0]))
+    assert len(store) == 1
+
+
+def test_duplicate_key_dropped(schema):
+    store = TimePartitionedStore(schema)
+    r = Record([1.0, 10.0])
+    assert store.insert(r)
+    assert not store.insert(r)
+    assert len(store) == 1
+
+
+def test_query_rect(schema):
+    store = TimePartitionedStore(schema)
+    a = Record([10.0, 100.0])
+    b = Record([90.0, 100.0])
+    store.insert(a)
+    store.insert(b)
+    hits = store.query(((0.0, 0.5), (0.0, 1.0)))
+    assert [r.key for r in hits] == [a.key]
+
+
+def test_query_time_pruning(schema):
+    store = TimePartitionedStore(schema, bucket_s=100.0)
+    early = Record([10.0, 50.0])
+    late = Record([10.0, 5000.0])
+    store.insert(early)
+    store.insert(late)
+    full = ((0.0, 1.0), (0.0, 1.0))
+    hits = store.query(full, time_range=(0.0, 100.0))
+    assert [r.key for r in hits] == [early.key]
+    hits = store.query(full, time_range=(4900.0, 5100.0))
+    assert [r.key for r in hits] == [late.key]
+    assert len(store.query(full)) == 2
+
+
+def test_clamped_records_match_top_rect(schema):
+    store = TimePartitionedStore(schema)
+    big = Record([1e9, 10.0])  # x beyond domain clamps to top
+    store.insert(big)
+    hits = store.query(((0.99, 1.0), (0.0, 1.0)))
+    assert [r.key for r in hits] == [big.key]
+
+
+def test_drop_before(schema):
+    store = TimePartitionedStore(schema, bucket_s=100.0)
+    old = Record([10.0, 50.0])
+    new = Record([10.0, 250.0])
+    store.insert(old)
+    store.insert(new)
+    removed = store.drop_before(200.0)
+    assert removed == 1
+    assert len(store) == 1
+    assert old.key not in store
+    assert new.key in store
+
+
+def test_no_time_dimension_single_bucket():
+    schema = IndexSchema("nt", attributes=[AttributeSpec("x", 0.0, 10.0)])
+    store = TimePartitionedStore(schema)
+    store.insert(Record([5.0]))
+    assert len(store.query(((0.0, 1.0),))) == 1
+    assert store.drop_before(1e9) == 0
+
+
+def test_many_records_query_consistency(schema):
+    store = TimePartitionedStore(schema, bucket_s=300.0)
+    rng = random.Random(0)
+    records = [Record([rng.uniform(0, 100), rng.uniform(0, 86400)]) for _ in range(500)]
+    for r in records:
+        store.insert(r)
+    rect = ((0.2, 0.7), (0.1, 0.4))
+    expected = {
+        r.key
+        for r in records
+        if 20 <= r.values[0] < 70 and 8640 <= r.values[1] < 34560
+    }
+    got = {r.key for r in store.query(rect)}
+    assert got == expected

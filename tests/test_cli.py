@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_overlay_command(capsys):
+    assert main(["overlay", "--nodes", "8", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "node" in out and "code" in out
+    assert "8 nodes" in out
+
+
+def test_traffic_command(capsys):
+    assert main(["traffic", "--network", "abilene", "--minutes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "raw sampled flows" in out
+    assert "Index-3" in out
+
+
+def test_demo_command(capsys):
+    assert main(["demo", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "insert:" in out
+    assert "complete=True" in out
+
+
+def test_anomaly_command(capsys):
+    assert main(["anomaly", "--seed", "21"]) == 0
+    out = capsys.readouterr().out
+    assert "attack observed at" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,39 @@
+"""Smoke tests: the example scripts run end to end.
+
+The two fastest examples run fully; the longer ones are exercised by the
+benchmark suite and their modules are at least imported here.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_runs(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "overlay codes:" in out
+    assert "alpha flow:" in out
+    assert "complete=True" in out
+
+
+def test_robustness_demo_runs(capsys):
+    out = run_example("robustness_demo.py", capsys)
+    assert "recall=100.00%" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["alpha_flow_detection.py", "port_scan_detection.py", "load_balancing_demo.py"],
+)
+def test_long_examples_compile(name):
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")

@@ -1,0 +1,176 @@
+"""Tests for flow aggregation, index record builders and anomalies."""
+
+import pytest
+
+from repro.net.topology import ABILENE_SITES
+from repro.traffic.aggregation import AggregationConfig, aggregate_flows
+from repro.traffic.anomalies import AlphaFlowEvent, DoSEvent, PortScanEvent
+from repro.traffic.datasets import abilene_generator, lakhina_anomalies
+from repro.traffic.flows import FlowRecord
+from repro.traffic.generator import BackboneTrafficGenerator, TrafficConfig
+from repro.traffic.indices import (
+    index1_records,
+    index1_schema,
+    index2_records,
+    index2_schema,
+    index3_records,
+    index3_schema,
+)
+from repro.traffic.prefixes import Prefix
+
+
+def flow(monitor="CHIN", start=10.0, src=0x80010005, dst=0x80020007, port=80, octets=1000):
+    return FlowRecord(monitor, start, src, dst, port, 6, octets, max(1, octets // 1000))
+
+
+def test_grouping_by_window_and_prefixes():
+    flows = [
+        flow(start=5.0, octets=1000),
+        flow(start=25.0, octets=2000),     # same window, same prefixes
+        flow(start=35.0, octets=4000),     # next window
+        flow(start=5.0, dst=0x80030001),   # different dst prefix
+    ]
+    aggs = aggregate_flows(flows)
+    assert len(aggs) == 3
+    first = [a for a in aggs if a.window_start == 0.0 and a.dst_prefix == 0x80020000][0]
+    assert first.octets == 3000
+
+
+def test_fanout_counts_distinct_short_pairs():
+    flows = [
+        flow(src=0x80010001, dst=0x80020001, octets=100),
+        flow(src=0x80010001, dst=0x80020001, octets=100),  # duplicate pair
+        flow(src=0x80010001, dst=0x80020002, octets=100),
+        flow(src=0x80010002, dst=0x80020003, octets=100),
+        flow(src=0x80010003, dst=0x80020004, octets=999999),  # long flow: no fanout
+    ]
+    aggs = aggregate_flows(flows)
+    assert len(aggs) == 1
+    assert aggs[0].fanout == 3
+    assert aggs[0].connections == 4
+
+
+def test_flow_size_average():
+    flows = [
+        flow(src=0x80010001, dst=0x80020001, port=80, octets=1000),
+        flow(src=0x80010002, dst=0x80020002, port=443, octets=3000),
+    ]
+    aggs = aggregate_flows(flows)
+    assert aggs[0].flow_size == pytest.approx(2000.0)
+
+
+def test_top_port_by_volume():
+    flows = [
+        flow(src=0x80010001, dst=0x80020001, port=80, octets=100),
+        flow(src=0x80010002, dst=0x80020002, port=3306, octets=90000),
+    ]
+    aggs = aggregate_flows(flows)
+    assert aggs[0].top_port == 3306
+
+
+def test_index_records_apply_thresholds():
+    flows = []
+    # 20 short connection attempts -> fanout 20 (above the 16 threshold).
+    for i in range(20):
+        flows.append(flow(src=0x80010000 + i, dst=0x80020000 + i, octets=100))
+    # One big flow -> octets above 80 KB.
+    flows.append(flow(src=0x80010050, dst=0x80020050, octets=200_000))
+    aggs = aggregate_flows(flows)
+    i1 = index1_records(aggs)
+    i2 = index2_records(aggs)
+    i3 = index3_records(aggs)
+    assert len(i1) == 1 and i1[0].values[2] == 20.0
+    assert len(i2) == 1 and i2[0].values[2] == 202_000.0
+    assert len(i3) == 1  # avg per connection is well above 1.5 KB
+    assert i1[0].payload["node"] == "CHIN"
+
+
+def test_schemas_shape():
+    for builder, name in ((index1_schema, "index1"), (index2_schema, "index2"), (index3_schema, "index3")):
+        schema = builder(86400.0)
+        assert schema.name == name
+        assert schema.dimensions == 3
+        assert schema.time_dimension() == 1
+
+
+def test_aggregation_reduces_record_count():
+    # The Figure-1 effect: aggregation + filtering cuts records by orders
+    # of magnitude.
+    gen = abilene_generator(seed=3, config=TrafficConfig(seed=3, flows_per_second=4.0))
+    flows = []
+    for batch in gen.generate(day=0, start_s=43200.0, duration_s=1800.0):
+        flows.extend(batch)
+    aggs = aggregate_flows(flows)
+    filtered = index2_records(aggs)
+    # Aggregation collapses same-prefix-pair flows; filtering removes the
+    # uninteresting mass.  The combined reduction is what Figure 1 plots.
+    assert len(aggs) < len(flows)
+    assert len(flows) > 20 * max(1, len(filtered))
+
+
+def test_anomaly_event_windows_and_flows():
+    src, dst = Prefix(0x80000000), Prefix(0x80100000)
+    event = DoSEvent("d", 1000.0, 120.0, src, dst, ("CHIN",), attempts_per_window=50)
+    import random as _random
+
+    rng = _random.Random(0)
+    assert event.flows_for_window("CHIN", 0, 990.0, 30.0, rng)
+    assert not event.flows_for_window("NYCM", 0, 990.0, 30.0, rng)
+    assert not event.flows_for_window("CHIN", 0, 2000.0, 30.0, rng)
+    # All DoS flows hit one destination host.
+    flows = event.flows_for_window("CHIN", 0, 1020.0, 30.0, rng)
+    assert len({f.dst_addr for f in flows}) == 1
+    assert len({f.src_addr for f in flows}) > 10
+
+
+def test_portscan_hits_many_hosts():
+    src, dst = Prefix(0x80000000), Prefix(0x80100000)
+    event = PortScanEvent("s", 0.0, 60.0, src, dst, ("CHIN",), attempts_per_window=100)
+    import random as _random
+
+    flows = event.flows_for_window("CHIN", 0, 0.0, 30.0, _random.Random(0))
+    assert len({f.src_addr for f in flows}) == 1
+    assert len({f.dst_addr for f in flows}) > 50
+
+
+def test_alpha_flow_volume():
+    src, dst = Prefix(0x80000000), Prefix(0x80100000)
+    event = AlphaFlowEvent("a", 0.0, 60.0, src, dst, ("CHIN",), octets_per_window=8_000_000)
+    import random as _random
+
+    flows = event.flows_for_window("CHIN", 0, 0.0, 30.0, _random.Random(0))
+    assert sum(f.octets for f in flows) == 8_000_000
+
+
+def test_lakhina_anomaly_set():
+    gen = abilene_generator(seed=1)
+    events = lakhina_anomalies(gen)
+    assert len(events) == 11
+    kinds = [type(e).__name__ for e in events]
+    assert kinds.count("AlphaFlowEvent") == 6
+    assert kinds.count("DoSEvent") == 4
+    assert kinds.count("PortScanEvent") == 1
+    # The 19:55 DoS uses the paper's router path.
+    big = [e for e in events if e.name == "dos-1955-a"][0]
+    assert big.monitors == ("CHIN", "DNVR", "IPLS", "KSCY", "LOSA", "SNVA")
+
+
+def test_injected_anomalies_visible_in_aggregates():
+    gen = abilene_generator(seed=2)
+    events = [
+        DoSEvent(
+            "d",
+            1000.0,
+            120.0,
+            gen.pools["abilene"].prefixes[0],
+            gen.pools["abilene"].prefixes[1],
+            ("CHIN",),
+            attempts_per_window=2000,
+        )
+    ]
+    gen.anomalies.extend(events)
+    flows = gen.flows_for_window("CHIN", 0, 1020.0, 30.0)
+    aggs = aggregate_flows(flows)
+    dst = gen.pools["abilene"].prefixes[1].base
+    hot = [a for a in aggs if a.dst_prefix == dst]
+    assert hot and max(a.fanout for a in hot) > 1500

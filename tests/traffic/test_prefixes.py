@@ -1,0 +1,73 @@
+"""Unit tests for prefix utilities."""
+
+import random
+
+import pytest
+
+from repro.traffic.prefixes import Prefix, PrefixPool, prefix16_of
+
+
+def test_prefix_span_and_range():
+    p = Prefix(0x0A000000, 16)
+    assert p.span == 65536
+    assert p.address_range() == (0x0A000000, 0x0A010000)
+    assert p.contains(0x0A00FFFF)
+    assert not p.contains(0x0A010000)
+
+
+def test_misaligned_base_rejected():
+    with pytest.raises(ValueError):
+        Prefix(0x0A000001, 16)
+
+
+def test_invalid_length_rejected():
+    with pytest.raises(ValueError):
+        Prefix(0, 40)
+
+
+def test_random_host_inside(s=7):
+    rng = random.Random(s)
+    p = Prefix(0x0A020000, 16)
+    for _ in range(100):
+        assert p.contains(p.random_host(rng))
+
+
+def test_str_form():
+    assert str(Prefix(0x80010000, 16)) == "128.1.0.0/16"
+
+
+def test_prefix16_of():
+    assert prefix16_of(0x80011234) == 0x80010000
+
+
+def test_pool_construction():
+    pool = PrefixPool(128, 64)
+    assert len(pool) == 64
+    assert pool.prefixes[0].base == 128 << 24
+    assert pool.prefixes[1].base == (128 << 24) + (1 << 16)
+
+
+def test_pool_limits():
+    with pytest.raises(ValueError):
+        PrefixPool(0, 10)
+    with pytest.raises(ValueError):
+        PrefixPool(128, 0)
+
+
+def test_pool_pick_is_zipf_skewed():
+    pool = PrefixPool(128, 64, zipf_s=1.1)
+    rng = random.Random(1)
+    counts = {}
+    for _ in range(5000):
+        p = pool.pick(rng)
+        counts[p.base] = counts.get(p.base, 0) + 1
+    ranked = sorted(counts.values(), reverse=True)
+    # The most popular prefix should dominate the tail decisively.
+    assert ranked[0] > 5 * ranked[-1]
+
+
+def test_pool_pick_deterministic():
+    pool = PrefixPool(128, 64)
+    a = [pool.pick(random.Random(3)).base for _ in range(1)]
+    b = [pool.pick(random.Random(3)).base for _ in range(1)]
+    assert a == b
