@@ -1,0 +1,7 @@
+"""Performance microbenchmarks and the perf-regression harness.
+
+Run ``PYTHONPATH=src python benchmarks/perf/run.py`` to execute the suite
+and write ``BENCH_PERF.json``; every future PR compares against that
+trajectory.  The runner exits non-zero if the vectorized columnar paths
+ever fall behind the scalar reference on the query-scan microbenchmark.
+"""

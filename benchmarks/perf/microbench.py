@@ -1,0 +1,208 @@
+"""Microbenchmarks for the vectorized columnar hot paths.
+
+Each benchmark times the scalar reference implementation against the
+NumPy-vectorized path on identical inputs and reports wall time plus the
+speedup.  Workload shape follows the paper's Index-1-style deployment: a
+3-dimensional index (address-like attribute, timestamp, scalar fanout)
+over a day of records, queried in 5-minute monitoring windows.
+"""
+
+import random
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.balance import derive_cut_tree, histogram_from_records
+from repro.core.cuts import BalancedCuts
+from repro.core.embedding import Embedding
+from repro.core.query import RangeQuery
+from repro.core.records import Record
+from repro.core.schema import AttributeSpec, IndexSchema
+from repro.storage.memtable import TimePartitionedStore
+
+DAY_S = 86400.0
+
+SCHEMA = IndexSchema(
+    "perf-index1",
+    attributes=[
+        AttributeSpec("dest_prefix", 0.0, 2.0**32),
+        AttributeSpec("timestamp", 0.0, DAY_S, is_time=True),
+        AttributeSpec("fanout", 0.0, 4096.0),
+    ],
+)
+
+#: Histogram granularity for the cut-derivation benches; modest on purpose
+#: so the scalar reference finishes in reasonable time.
+GRAINS = (256, 512, 64)
+
+
+def make_records(n: int, seed: int = 7) -> List[Record]:
+    """A skewed day of synthetic monitoring records (deterministic)."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(n):
+        # Zipf-ish destination popularity: a few hot /8s, a long tail.
+        prefix = (rng.paretovariate(1.2) * 2.0**24) % 2.0**32
+        timestamp = rng.random() * DAY_S
+        fanout = min(rng.paretovariate(1.5) * 4.0, 5000.0)  # some clamp out of domain
+        records.append(Record((prefix, timestamp, fanout)))
+    return records
+
+
+def make_queries(n: int, seed: int = 11) -> List[RangeQuery]:
+    """Fig-9-style monitoring queries: 5-minute windows, ranged attributes."""
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(n):
+        t0 = rng.random() * (DAY_S - 300.0)
+        p0 = rng.random() * (2.0**32) * 0.9
+        queries.append(
+            RangeQuery(
+                SCHEMA.name,
+                {
+                    "dest_prefix": (p0, p0 + 2.0**28),
+                    "timestamp": (t0, t0 + 300.0),
+                    "fanout": (8.0, None),
+                },
+            )
+        )
+    return queries
+
+
+def _timed(fn: Callable[[], object]) -> Tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _entry(scalar_s: float, vectorized_s: float, **extra) -> Dict:
+    entry = {
+        "scalar_s": round(scalar_s, 6),
+        "vectorized_s": round(vectorized_s, 6),
+        "speedup": round(scalar_s / vectorized_s, 3) if vectorized_s > 0 else float("inf"),
+    }
+    entry.update(extra)
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+def bench_insert(records: List[Record]) -> Dict:
+    """Insert throughput: per-record scalar inserts vs one batched insert."""
+    scalar_store = TimePartitionedStore(SCHEMA, vectorized=False)
+    scalar_s, _ = _timed(lambda: [scalar_store.insert(r) for r in records])
+    vector_store = TimePartitionedStore(SCHEMA, vectorized=True)
+    vectorized_s, inserted = _timed(lambda: vector_store.insert_batch(records))
+    assert inserted == len(scalar_store) == len(vector_store)
+    return _entry(
+        scalar_s,
+        vectorized_s,
+        records=len(records),
+        vectorized_records_per_s=round(len(records) / vectorized_s) if vectorized_s else None,
+    )
+
+
+def bench_query_scan(records: List[Record], queries: List[RangeQuery]) -> Dict:
+    """Rectangle-scan throughput over identical populated stores."""
+    scalar_store = TimePartitionedStore(SCHEMA, vectorized=False)
+    vector_store = TimePartitionedStore(SCHEMA, vectorized=True)
+    for r in records:
+        scalar_store.insert(r)
+    vector_store.insert_batch(records)
+    rects = [q.normalized_rect(SCHEMA) for q in queries]
+
+    def run(store: TimePartitionedStore) -> int:
+        hits = 0
+        for rect in rects:
+            hits += len(store.query(rect))
+        return hits
+
+    scalar_s, scalar_hits = _timed(lambda: run(scalar_store))
+    vectorized_s, vector_hits = _timed(lambda: run(vector_store))
+    assert scalar_hits == vector_hits
+    scanned = len(records) * len(queries)
+    return _entry(
+        scalar_s,
+        vectorized_s,
+        records=len(records),
+        queries=len(queries),
+        hits=vector_hits,
+        vectorized_scans_per_s=round(scanned / vectorized_s) if vectorized_s else None,
+    )
+
+
+def bench_histogram_build(records: List[Record]) -> Dict:
+    """Daily-histogram construction: per-record adds vs one add_batch."""
+    scalar_s, scalar_hist = _timed(
+        lambda: histogram_from_records(SCHEMA, records, GRAINS, vectorized=False)
+    )
+    vectorized_s, vector_hist = _timed(
+        lambda: histogram_from_records(SCHEMA, records, GRAINS, vectorized=True)
+    )
+    assert scalar_hist.cell_counts() == vector_hist.cell_counts()
+    return _entry(
+        scalar_s,
+        vectorized_s,
+        records=len(records),
+        occupied_cells=vector_hist.occupied_cells,
+    )
+
+
+def bench_balanced_cut(records: List[Record], depth: int = 10) -> Dict:
+    """Full balanced-cut tree derivation (weighted medians per prefix)."""
+    hist = histogram_from_records(SCHEMA, records, GRAINS)
+    scalar_s, scalar_cuts = _timed(lambda: derive_cut_tree(hist, depth, vectorized=False))
+    vectorized_s, vector_cuts = _timed(lambda: derive_cut_tree(hist, depth, vectorized=True))
+    assert scalar_cuts == vector_cuts
+    return _entry(scalar_s, vectorized_s, depth=depth, cuts=len(vector_cuts))
+
+
+def bench_fig9_workload(records: List[Record], queries: List[RangeQuery]) -> Dict:
+    """End-to-end Fig-9-style workload at the node-local level.
+
+    Build the day's balanced embedding, batch-code every record, then
+    answer the 5-minute monitoring queries against a populated store —
+    the exact per-node work a cluster-level Figure 9 run multiplies out.
+    """
+    def run(vectorized: bool) -> int:
+        hist = histogram_from_records(SCHEMA, records, GRAINS, vectorized=vectorized)
+        embedding = Embedding(SCHEMA, BalancedCuts(hist), code_depth=12)
+        store = TimePartitionedStore(SCHEMA, vectorized=vectorized)
+        if vectorized:
+            embedding.preload_splits(derive_cut_tree(hist, 12))
+            embedding.point_codes_batch([r.values for r in records], depth=12)
+            store.insert_batch(records)
+        else:
+            for r in records:
+                embedding.point_code(r.values, depth=12)
+                store.insert(r)
+        hits = 0
+        time_attr = SCHEMA.attributes[SCHEMA.time_dimension()].name
+        for query in queries:
+            rect = query.normalized_rect(SCHEMA)
+            hits += len(store.query(rect, time_range=query.interval(time_attr)))
+        return hits
+
+    scalar_s, scalar_hits = _timed(lambda: run(False))
+    vectorized_s, vector_hits = _timed(lambda: run(True))
+    assert scalar_hits == vector_hits
+    return _entry(
+        scalar_s,
+        vectorized_s,
+        records=len(records),
+        queries=len(queries),
+        hits=vector_hits,
+    )
+
+
+def run_suite(records_n: int = 100_000, queries_n: int = 50, seed: int = 7) -> Dict:
+    """Run every microbenchmark; returns the BENCH_PERF payload."""
+    records = make_records(records_n, seed)
+    queries = make_queries(queries_n, seed + 1)
+    return {
+        "insert": bench_insert(records),
+        "query_scan": bench_query_scan(records, queries),
+        "histogram_build": bench_histogram_build(records),
+        "balanced_cut": bench_balanced_cut(records),
+        "fig9_workload": bench_fig9_workload(records, queries),
+    }

@@ -1,0 +1,72 @@
+"""Perf-regression runner: execute the microbench suite, write BENCH_PERF.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run.py [--records N] [--queries Q]
+                                                 [--output PATH]
+
+Exits non-zero (loudly) if the vectorized path is slower than the scalar
+fallback on the query-scan microbenchmark — the core regression guard —
+and prints per-bench speedups for the rest so trajectory changes are
+visible in CI logs.
+"""
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from benchmarks.perf.microbench import run_suite  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=100_000,
+                        help="records per microbench (default 100k)")
+    parser.add_argument("--queries", type=int, default=50,
+                        help="queries for the scan/workload benches")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_PERF.json")
+    args = parser.parse_args(argv)
+
+    benches = run_suite(args.records, args.queries, args.seed)
+    payload = {
+        "meta": {
+            "records": args.records,
+            "queries": args.queries,
+            "seed": args.seed,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "benches": benches,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"wrote {args.output}")
+    for name, entry in benches.items():
+        print(
+            f"  {name:16s} scalar {entry['scalar_s']:8.3f}s"
+            f"  vectorized {entry['vectorized_s']:8.3f}s"
+            f"  speedup {entry['speedup']:7.2f}x"
+        )
+
+    scan = benches["query_scan"]
+    if scan["speedup"] < 1.0:
+        print(
+            "PERF REGRESSION: vectorized query scan is SLOWER than the "
+            f"scalar fallback ({scan['speedup']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Perf-marked regression tests over the microbench suite.
+
+Not part of the default test run (``testpaths`` excludes ``benchmarks/``);
+run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -m perf -s
+
+Asserts the acceptance floor: the vectorized columnar paths must beat the
+scalar reference by >= 3x on the query-scan and histogram-build
+microbenchmarks at 100k records, and must never be slower anywhere.
+"""
+
+import pytest
+
+from benchmarks.perf.microbench import (
+    bench_balanced_cut,
+    bench_fig9_workload,
+    bench_histogram_build,
+    bench_insert,
+    bench_query_scan,
+    make_queries,
+    make_records,
+)
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_records(100_000), make_queries(50)
+
+
+def test_query_scan_speedup_floor(workload):
+    records, queries = workload
+    entry = bench_query_scan(records, queries)
+    assert entry["speedup"] >= 3.0, entry
+
+
+def test_histogram_build_speedup_floor(workload):
+    records, _ = workload
+    entry = bench_histogram_build(records)
+    assert entry["speedup"] >= 3.0, entry
+
+
+def test_insert_batch_not_slower(workload):
+    records, _ = workload
+    entry = bench_insert(records)
+    assert entry["speedup"] >= 1.0, entry
+
+
+def test_balanced_cut_not_slower(workload):
+    records, _ = workload
+    entry = bench_balanced_cut(records, depth=8)
+    assert entry["speedup"] >= 1.0, entry
+
+
+def test_fig9_workload_not_slower(workload):
+    records, queries = workload
+    entry = bench_fig9_workload(records[:30_000], queries[:20])
+    assert entry["speedup"] >= 1.0, entry

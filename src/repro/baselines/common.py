@@ -23,12 +23,19 @@ from repro.storage.memtable import TimePartitionedStore
 class BaselineNode:
     """A storage node without overlay routing."""
 
-    def __init__(self, sim: Simulator, network: SimNetwork, address: str, schema: IndexSchema) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        network: SimNetwork,
+        address: str,
+        schema: IndexSchema,
+        vectorized_store: bool = True,
+    ) -> None:
         self.sim = sim
         self.network = network
         self.address = address
         self.schema = schema
-        self.store = TimePartitionedStore(schema)
+        self.store = TimePartitionedStore(schema, vectorized=vectorized_store)
         self.dac = DataAccessController(sim, DacConfig())
         self.handlers: Dict[str, Callable[[Message], None]] = {}
         network.register(address, self._deliver)
@@ -67,12 +74,21 @@ class BaselineNode:
 class BaselineSystem:
     """Base driver: deploys nodes, runs blocking insert/query helpers."""
 
-    def __init__(self, sites: Sequence[Site], schema: IndexSchema, seed: int = 0) -> None:
+    def __init__(
+        self,
+        sites: Sequence[Site],
+        schema: IndexSchema,
+        seed: int = 0,
+        vectorized_store: bool = True,
+    ) -> None:
         self.sim = Simulator(seed)
         self.schema = schema
         self.sites = {s.name: s for s in sites}
         self.network = SimNetwork(self.sim, self.sites)
-        self.nodes = [BaselineNode(self.sim, self.network, s.name, schema) for s in sites]
+        self.nodes = [
+            BaselineNode(self.sim, self.network, s.name, schema, vectorized_store)
+            for s in sites
+        ]
         self.by_address = {n.address: n for n in self.nodes}
         self.metrics = MetricsCollector()
         self._op_counter = itertools.count(1)

@@ -6,6 +6,10 @@ query can say nothing about where matching records live, so it must
 contact every node.  This is the contrast that motivates MIND's
 locality-preserving embedding (Section 2.2's routing-structure decision
 and the related-work discussion of DHT-based range search).
+
+Local scans run on the same columnar vectorized store as MIND nodes
+(``BaselineSystem(vectorized_store=...)``), so architecture ablations
+compare routing strategies, not scan implementations.
 """
 
 import hashlib

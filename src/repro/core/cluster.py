@@ -35,6 +35,8 @@ class ClusterConfig:
     latency: LatencyModel = field(default_factory=LatencyModel)
     bandwidth_bps: float = 10e6
     record_link_delays: bool = False
+    #: Per-link bound on retained delay samples (None = unbounded).
+    link_delay_sample_cap: Optional[int] = 8192
     #: Fraction of nodes that are pathologically slow (overloaded PlanetLab
     #: hosts) and their slowdown factor.
     slow_node_fraction: float = 0.08
@@ -66,6 +68,7 @@ class MindCluster:
             latency_model=self.config.latency,
             bandwidth_bps=self.config.bandwidth_bps,
             record_link_delays=self.config.record_link_delays,
+            link_delay_sample_cap=self.config.link_delay_sample_cap,
         )
         speed_rng = self.sim.rng("cluster.speed")
         self.nodes: List[MindNode] = []

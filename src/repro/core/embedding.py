@@ -21,10 +21,16 @@ derives the identical tree from the identical histogram.
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.cuts import strategy_from_wire
 from repro.core.query import NormRect, full_rect
 from repro.core.schema import IndexSchema
 from repro.overlay.code import Code
+
+#: point_codes_batch packs the running code of each point into an int64;
+#: deeper descents fall back to the scalar per-point path.
+_MAX_BATCH_DEPTH = 62
 
 
 class Embedding:
@@ -74,6 +80,60 @@ class Embedding:
             bits.append(bit)
             rect = self._narrow(rect, dim, split, bit)
         return Code("".join(bits))
+
+    def point_codes_batch(self, values, depth: Optional[int] = None) -> List[Code]:
+        """Codes for many raw-valued points at once.
+
+        Descends the cut tree level by level: points are grouped by their
+        code prefix (one stable sort per level), each group's cut is
+        fetched from the shared memoized cache, and the per-point bit
+        comparisons run as one vectorized ``>=`` over the whole batch.
+        Agrees bit-for-bit with :meth:`point_code` on every point.
+        """
+        depth = self.code_depth if depth is None else depth
+        points = self.schema.normalize_batch(values)
+        n = points.shape[0]
+        if n == 0:
+            return []
+        if depth == 0:
+            return [Code("") for _ in range(n)]
+        if depth > _MAX_BATCH_DEPTH:
+            return [self.point_code(v, depth) for v in values]
+        dims = self.schema.dimensions
+        codes = np.zeros(n, dtype=np.int64)
+        splits = np.empty(n, dtype=np.float64)
+        groups: Dict[int, Tuple[str, NormRect]] = {0: ("", full_rect(dims))}
+        for level in range(depth):
+            dim = level % dims
+            order = np.argsort(codes, kind="stable")
+            sorted_codes = codes[order]
+            run_starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(sorted_codes)) + 1, [n])
+            )
+            next_groups: Dict[int, Tuple[str, NormRect]] = {}
+            for i in range(len(run_starts) - 1):
+                start, end = run_starts[i], run_starts[i + 1]
+                node = int(sorted_codes[start])
+                prefix, rect = groups[node]
+                split = self._split(prefix, rect)
+                splits[order[start:end]] = split
+                lo, hi = rect[dim]
+                next_groups[node << 1] = (
+                    prefix + "0",
+                    rect[:dim] + ((lo, split),) + rect[dim + 1 :],
+                )
+                next_groups[(node << 1) | 1] = (
+                    prefix + "1",
+                    rect[:dim] + ((split, hi),) + rect[dim + 1 :],
+                )
+            codes = (codes << 1) | (points[:, dim] >= splits)
+            groups = next_groups
+        template = "{:0%db}" % depth
+        return [Code(template.format(c)) for c in codes.tolist()]
+
+    def preload_splits(self, cuts: Dict[str, float]) -> None:
+        """Seed the memoized cut cache (e.g. from ``derive_cut_tree``)."""
+        self._split_cache.update(cuts)
 
     # ------------------------------------------------------------------
     # Regions

@@ -22,7 +22,7 @@ Partial bin overlap is weighted fractionally assuming uniform mass within
 a bin.
 """
 
-from typing import Dict, Iterable, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,9 +32,17 @@ Granularity = Union[int, Sequence[int]]
 
 
 class MultiDimHistogram:
-    """A sparse d-dimensional histogram over [0,1)^d."""
+    """A sparse d-dimensional histogram over [0,1)^d.
 
-    def __init__(self, dimensions: int, granularity: Granularity) -> None:
+    ``vectorized=False`` routes :meth:`add_batch`, :meth:`count_in_rect`
+    and :meth:`split_point` through scalar per-cell reference
+    implementations; the default vectorized paths are exercised against
+    them by the equivalence property tests.
+    """
+
+    def __init__(
+        self, dimensions: int, granularity: Granularity, vectorized: bool = True
+    ) -> None:
         if dimensions < 1:
             raise ValueError("dimensions must be >= 1")
         if isinstance(granularity, int):
@@ -49,6 +57,7 @@ class MultiDimHistogram:
             raise ValueError("granularity must be >= 1 in every dimension")
         self.dimensions = dimensions
         self.grains: Tuple[int, ...] = grains
+        self.vectorized = vectorized
         self._cells: Dict[Tuple[int, ...], float] = {}
         self._dirty = True
         self._coords = np.zeros((0, dimensions), dtype=np.int64)
@@ -82,6 +91,61 @@ class MultiDimHistogram:
         for point in points:
             self.add(point)
 
+    def add_batch(self, points, weight: float = 1.0) -> None:
+        """Add many normalized points at once, each carrying ``weight``.
+
+        The vectorized path bins the whole ``(n, d)`` array with one
+        truncation + clip, collapses duplicate cells with ``np.unique``
+        and touches the sparse dict once per *occupied* cell.  With the
+        default unit weight the resulting counts are byte-identical to
+        ``n`` scalar :meth:`add` calls (integer-valued float64 sums are
+        exact); for fractional weights they can differ in the last ulp
+        because the additions associate differently.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != self.dimensions:
+            raise ValueError(
+                f"expected (n, {self.dimensions}) points, got shape {pts.shape}"
+            )
+        if pts.shape[0] == 0:
+            return
+        if not self.vectorized:
+            for row in pts:
+                self.add(row, weight)
+            return
+        grains = np.asarray(self.grains, dtype=np.float64)
+        # Truncation toward zero matches the scalar int(x * k); clipping
+        # matches its under/overflow clamps.
+        bins = (pts * grains).astype(np.int64)
+        np.clip(bins, 0, np.asarray(self.grains, dtype=np.int64) - 1, out=bins)
+        cells = self._cells
+        total_cells = 1
+        for g in self.grains:
+            total_cells *= g
+        if total_cells < 2**62:
+            # Collapse each row to a linear cell id: unique over a 1-D
+            # int64 array is far cheaper than unique over row views.
+            flat = bins[:, 0].copy()
+            for dim in range(1, self.dimensions):
+                flat *= self.grains[dim]
+                flat += bins[:, dim]
+            unique_flat, counts = np.unique(flat, return_counts=True)
+            strides = [1] * self.dimensions
+            for dim in range(self.dimensions - 2, -1, -1):
+                strides[dim] = strides[dim + 1] * self.grains[dim + 1]
+            for linear, count in zip(unique_flat.tolist(), counts.tolist()):
+                cell = tuple(
+                    (linear // strides[dim]) % self.grains[dim]
+                    for dim in range(self.dimensions)
+                )
+                cells[cell] = cells.get(cell, 0.0) + count * weight
+        else:
+            unique, inverse = np.unique(bins, axis=0, return_inverse=True)
+            counts = np.bincount(inverse.ravel(), minlength=unique.shape[0])
+            for cell, count in zip(map(tuple, unique.tolist()), counts.tolist()):
+                cells[cell] = cells.get(cell, 0.0) + count * weight
+        self._dirty = True
+
     def merge(self, other: "MultiDimHistogram") -> None:
         """Accumulate another histogram (per-node aggregation)."""
         if (other.dimensions, other.grains) != (self.dimensions, self.grains):
@@ -102,7 +166,7 @@ class MultiDimHistogram:
         if not 0 <= dim < self.dimensions:
             raise IndexError(f"dimension {dim} out of range")
         offset = int(round(delta * self.grains[dim]))
-        out = MultiDimHistogram(self.dimensions, self.grains)
+        out = MultiDimHistogram(self.dimensions, self.grains, vectorized=self.vectorized)
         top = self.grains[dim] - 1
         for cell, count in self._cells.items():
             moved = min(max(cell[dim] + offset, 0), top)
@@ -163,11 +227,86 @@ class MultiDimHistogram:
             weight *= np.clip((right - left) * k, 0.0, 1.0)
         return weight
 
+    def _cell_weights_scalar(self, rect: NormRect) -> List[Tuple[Tuple[int, ...], float]]:
+        """Scalar reference for :meth:`_cell_weights`.
+
+        Walks the sorted cell dict, applying the same IEEE operations in
+        the same per-dimension order as the vectorized path so the two
+        produce identical floats cell by cell.
+        """
+        out = []
+        for cell in sorted(self._cells):
+            weight = self._cells[cell]
+            for dim, (lo, hi) in enumerate(rect):
+                k = self.grains[dim]
+                b = cell[dim]
+                left = max(b / k, lo)
+                right = min((b + 1) / k, hi)
+                frac = (right - left) * k
+                if frac < 0.0:
+                    frac = 0.0
+                elif frac > 1.0:
+                    frac = 1.0
+                weight = weight * frac
+            out.append((cell, weight))
+        return out
+
     def count_in_rect(self, rect: NormRect) -> float:
         """Approximate mass inside the rectangle."""
         if len(rect) != self.dimensions:
             raise ValueError("rect dimensionality mismatch")
+        if not self.vectorized:
+            return float(sum(w for _, w in self._cell_weights_scalar(rect)))
         return float(self._cell_weights(rect).sum())
+
+    def _split_point_scalar(self, rect: NormRect, dim: int) -> float:
+        """Scalar reference for :meth:`split_point` (same floats out)."""
+        lo, hi = rect[dim]
+        midpoint = (lo + hi) / 2.0
+        weighted = self._cell_weights_scalar(rect)
+        if not weighted:
+            return midpoint
+        k = self.grains[dim]
+        # Stable sort by the bin index along ``dim`` over the
+        # lexicographically sorted cells — the exact order np.argsort
+        # (stable) gives the vectorized path.
+        by_bin = sorted(
+            ((cell[dim], w) for cell, w in weighted), key=lambda bw: bw[0]
+        )
+        # One running sum over the live masses, recorded at each bin's
+        # last cell — the same sequential fold + adjacent-difference the
+        # vectorized path performs, so the floats match exactly.
+        bins_list: List[int] = []
+        cumulative: List[float] = []
+        running = 0.0
+        for b, mass in by_bin:
+            if mass <= 0.0:
+                continue
+            running += mass
+            if bins_list and bins_list[-1] == b:
+                cumulative[-1] = running
+            else:
+                bins_list.append(b)
+                cumulative.append(running)
+        if not bins_list:
+            return midpoint
+        total = cumulative[-1]
+        if total <= 0.0:
+            return midpoint
+        half = total / 2.0
+        idx = 0
+        while cumulative[idx] < half:
+            idx += 1
+        b = bins_list[idx]
+        before = cumulative[idx - 1] if idx > 0 else 0.0
+        mass = cumulative[idx] - before
+        bin_lo = max(b / k, lo)
+        bin_hi = min((b + 1) / k, hi)
+        if mass <= 0.0:
+            split = bin_lo
+        else:
+            split = bin_lo + (half - before) / mass * (bin_hi - bin_lo)
+        return float(min(max(split, lo + 1e-12), hi - 1e-12))
 
     def split_point(self, rect: NormRect, dim: int) -> float:
         """The balanced cut of ``rect`` along ``dim``.
@@ -178,6 +317,8 @@ class MultiDimHistogram:
         """
         if not 0 <= dim < self.dimensions:
             raise IndexError(f"dimension {dim} out of range")
+        if not self.vectorized:
+            return self._split_point_scalar(rect, dim)
         lo, hi = rect[dim]
         midpoint = (lo + hi) / 2.0
 
@@ -196,10 +337,15 @@ class MultiDimHistogram:
         if bins.size == 0:
             return midpoint
         # Collapse duplicate bins, then find the bin where the cumulative
-        # mass crosses half and interpolate inside it.
+        # mass crosses half and interpolate inside it.  The cumulative
+        # masses come from one sequential np.cumsum over the flat mass
+        # array (read at each bin's last cell) and the in-bin mass is the
+        # difference of adjacent cumulatives — an operation order the
+        # scalar reference path reproduces exactly, which np.add.reduceat
+        # (pairwise association) would not.
         unique_bins, starts = np.unique(bins, return_index=True)
-        per_bin = np.add.reduceat(masses, starts)
-        cumulative = np.cumsum(per_bin)
+        ends = np.append(starts[1:], masses.size)
+        cumulative = np.cumsum(masses)[ends - 1]
         total = cumulative[-1]
         if total <= 0.0:
             return midpoint
@@ -207,7 +353,7 @@ class MultiDimHistogram:
         idx = int(np.searchsorted(cumulative, half, side="left"))
         b = int(unique_bins[idx])
         before = float(cumulative[idx - 1]) if idx > 0 else 0.0
-        mass = float(per_bin[idx])
+        mass = float(cumulative[idx]) - before
         bin_lo = max(b / k, lo)
         bin_hi = min((b + 1) / k, hi)
         if mass <= 0.0:

@@ -46,6 +46,9 @@ class MindConfig:
     query_timeout_s: float = 90.0
     dac: DacConfig = field(default_factory=DacConfig)
     store_bucket_s: float = 300.0
+    #: Columnar NumPy scans in the local store and histogram collection;
+    #: turn off to run the scalar reference path end-to-end.
+    vectorized_store: bool = True
     record_wire_bytes: int = 120
     response_base_bytes: int = 150
 
@@ -207,7 +210,11 @@ class MindNode(OverlayNode):
             schema=schema,
             versions=versions,
             replication=replication,
-            store=TimePartitionedStore(schema, bucket_s=self.mind_config.store_bucket_s),
+            store=TimePartitionedStore(
+                schema,
+                bucket_s=self.mind_config.store_bucket_s,
+                vectorized=self.mind_config.vectorized_store,
+            ),
             dac=DataAccessController(self.sim, self.mind_config.dac, self.speed_factor),
         )
 
@@ -951,6 +958,10 @@ class MindNode(OverlayNode):
         hist = MultiDimHistogram(state.schema.dimensions, granularity)
         lo, hi = time_range
         time_dim = state.schema.time_dimension()
+        if self.mind_config.vectorized_store:
+            t_range = (lo, hi) if time_dim is not None else None
+            hist.add_batch(state.store.points_in_time_range(t_range))
+            return hist
         for record in state.store.all_records():
             if time_dim is not None:
                 t = record.values[time_dim]

@@ -16,6 +16,8 @@ treatment of the <0.1% of tuples exceeding the configured attribute bound
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 _EPSILON = 1e-9
 #: Normalized stand-in for "at or above the attribute upper bound".
 _TOP = 1.0 - _EPSILON
@@ -90,6 +92,15 @@ class IndexSchema:
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "attributes", tuple(attributes))
         object.__setattr__(self, "payload_names", tuple(payload_names))
+        # Columnar views of the attribute domains for normalize_batch.
+        object.__setattr__(
+            self, "_lo", np.array([a.lo for a in attributes], dtype=np.float64)
+        )
+        object.__setattr__(
+            self,
+            "_span",
+            np.array([a.hi - a.lo for a in attributes], dtype=np.float64),
+        )
 
     @property
     def dimensions(self) -> int:
@@ -113,6 +124,29 @@ class IndexSchema:
                 f"index {self.name} expects {self.dimensions} values, got {len(values)}"
             )
         return tuple(attr.normalize(v) for attr, v in zip(self.attributes, values))
+
+    def normalize_batch(self, values) -> np.ndarray:
+        """Normalize many coordinate vectors at once.
+
+        ``values`` is anything ``np.asarray`` turns into an ``(n, k)``
+        matrix (a list of record value tuples, or an existing array).
+        Returns an ``(n, k)`` ``float64`` array; every element equals the
+        scalar :meth:`AttributeSpec.normalize` of the same input exactly
+        (same IEEE operations in the same order), including the clamping
+        of out-of-domain values to ``1 - eps``.
+        """
+        raw = np.asarray(values, dtype=np.float64)
+        if raw.ndim == 1:
+            raw = raw.reshape(0, self.dimensions) if raw.size == 0 else raw.reshape(1, -1)
+        if raw.ndim != 2 or raw.shape[1] != self.dimensions:
+            raise ValueError(
+                f"index {self.name} expects (n, {self.dimensions}) values, "
+                f"got shape {raw.shape}"
+            )
+        x = (raw - self._lo) / self._span
+        np.copyto(x, 0.0, where=x < 0.0)
+        np.copyto(x, _TOP, where=x >= 1.0)
+        return x
 
     def to_wire(self) -> Dict:
         """Schema as plain data, as flooded in ``create_index`` messages."""

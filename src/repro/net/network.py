@@ -31,8 +31,28 @@ class LinkStats:
     messages: int = 0
     bytes: int = 0
     #: (send_time, total_delay_seconds) samples; populated only when the
-    #: network was created with ``record_link_delays=True``.
+    #: network was created with ``record_link_delays=True``.  Bounded by
+    #: the network's ``link_delay_sample_cap`` via stride decimation.
     delay_samples: List[Tuple[float, float]] = field(default_factory=list)
+    #: Every ``delay_sample_stride``-th send is sampled; starts at 1 and
+    #: doubles whenever the buffer hits the cap (half the samples are
+    #: dropped), so long runs keep a bounded, evenly thinned time series.
+    delay_sample_stride: int = 1
+    _delay_phase: int = 0
+
+    def record_delay(self, time: float, delay: float, cap: Optional[int]) -> None:
+        """Record a (send_time, delay) sample under the decimation budget.
+
+        Decimation preserves the temporal *shape* of the series (Figures
+        8 and 12 plot delay versus time), unlike reservoir sampling which
+        would scramble ordering guarantees for the same bound.
+        """
+        if self._delay_phase == 0:
+            self.delay_samples.append((time, delay))
+            if cap is not None and len(self.delay_samples) >= cap:
+                del self.delay_samples[1::2]
+                self.delay_sample_stride *= 2
+        self._delay_phase = (self._delay_phase + 1) % self.delay_sample_stride
 
 
 class SimNetwork:
@@ -54,6 +74,10 @@ class SimNetwork:
         Time for a sender to learn that a connection attempt failed.
     record_link_delays:
         Keep (time, delay) samples per link (Figure 8 / 12 benches).
+    link_delay_sample_cap:
+        Per-link bound on retained delay samples; when a link reaches the
+        cap its series is thinned to every other sample and the sampling
+        stride doubles.  ``None`` disables the bound.
     """
 
     def __init__(
@@ -64,15 +88,19 @@ class SimNetwork:
         bandwidth_bps: float = 10e6,
         fail_detect_s: float = 1.0,
         record_link_delays: bool = False,
+        link_delay_sample_cap: Optional[int] = 8192,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth_bps must be positive")
+        if link_delay_sample_cap is not None and link_delay_sample_cap < 2:
+            raise ValueError("link_delay_sample_cap must be >= 2 (or None)")
         self.sim = sim
         self.sites = dict(sites)
         self.latency = latency_model or LatencyModel()
         self.bandwidth_bps = bandwidth_bps
         self.fail_detect_s = fail_detect_s
         self.record_link_delays = record_link_delays
+        self.link_delay_sample_cap = link_delay_sample_cap
 
         self._endpoints: Dict[str, DeliverFn] = {}
         self._node_up: Dict[str, bool] = {}
@@ -171,7 +199,7 @@ class SimNetwork:
         stats.bytes += msg.size_bytes
         stats.tuples += tuples
         if self.record_link_delays:
-            stats.delay_samples.append((now, delivery_time - now))
+            stats.record_delay(now, delivery_time - now, self.link_delay_sample_cap)
 
         self.sim.schedule_at(delivery_time, self._deliver, msg, on_fail)
         return msg

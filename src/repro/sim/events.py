@@ -3,7 +3,9 @@
 Events compare by ``(time, sequence)`` so that two events scheduled for the
 same instant fire in the order they were scheduled.  Cancellation is lazy:
 a cancelled event stays in the heap but is skipped when popped, which keeps
-cancellation O(1) and avoids heap surgery.
+cancellation O(1) and avoids heap surgery.  The queue still reports its
+*live* length — cancelled-but-unpopped timers are excluded — so quiescence
+checks and progress logs aren't inflated by lazily-cancelled events.
 """
 
 import heapq
@@ -18,7 +20,7 @@ class Event:
     user code only holds them to :meth:`cancel` a pending timer.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue", "_in_heap")
 
     def __init__(
         self,
@@ -26,16 +28,23 @@ class Event:
         seq: int,
         callback: Callable[..., Any],
         args: Tuple[Any, ...],
+        queue: Optional["EventQueue"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._queue = queue
+        self._in_heap = queue is not None
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None and self._in_heap:
+            self._queue._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -52,12 +61,23 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list = []
         self._counter = itertools.count()
+        #: Cancelled events still sitting in the heap awaiting lazy removal.
+        self._dead = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Number of *live* (non-cancelled) pending events."""
+        return len(self._heap) - self._dead
+
+    def _note_cancelled(self) -> None:
+        self._dead += 1
+
+    def _discard(self, event: Event) -> None:
+        event._in_heap = False
+        if event.cancelled:
+            self._dead -= 1
 
     def push(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]) -> Event:
-        event = Event(time, next(self._counter), callback, args)
+        event = Event(time, next(self._counter), callback, args, queue=self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -65,6 +85,7 @@ class EventQueue:
         """Remove and return the earliest non-cancelled event, or ``None``."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            self._discard(event)
             if not event.cancelled:
                 return event
         return None
@@ -72,7 +93,7 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event without removing it."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            self._discard(heapq.heappop(self._heap))
         if self._heap:
             return self._heap[0].time
         return None

@@ -115,7 +115,10 @@ class Simulator:
         while not predicate():
             next_time = self._queue.peek_time()
             if next_time is None or next_time > deadline:
-                self.now = min(deadline, max(self.now, deadline))
+                # Let the remaining timeout elapse, but never rewind the
+                # clock (a non-positive timeout must not move time
+                # backwards).
+                self.now = max(self.now, deadline)
                 return predicate()
             self.step()
             since_check += 1

@@ -1,0 +1,51 @@
+"""Tier-1 smoke test for the perf-regression harness.
+
+Runs ``benchmarks/perf/run.py`` at a tiny scale (seconds, not minutes) and
+checks the machine-readable ``BENCH_PERF.json`` contract every future PR's
+trajectory comparison relies on.  The full-size run is the ``perf``-marked
+suite under ``benchmarks/perf/``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+EXPECTED_BENCHES = {
+    "insert",
+    "query_scan",
+    "histogram_build",
+    "balanced_cut",
+    "fig9_workload",
+}
+
+
+def test_run_py_writes_bench_perf_json(tmp_path):
+    output = tmp_path / "BENCH_PERF.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "perf" / "run.py"),
+            "--records", "3000",
+            "--queries", "5",
+            "--output", str(output),
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(output.read_text())
+    assert payload["meta"]["records"] == 3000
+    assert set(payload["benches"]) == EXPECTED_BENCHES
+    for name, entry in payload["benches"].items():
+        assert entry["scalar_s"] >= 0.0, name
+        assert entry["vectorized_s"] >= 0.0, name
+        assert entry["speedup"] > 0.0, name

@@ -160,3 +160,34 @@ def test_wan_latency_uses_sites():
     net.send("NY", "LDN", "x")
     sim.run_until_idle()
     assert times[0] > 0.02
+
+
+def test_link_delay_samples_bounded_by_cap():
+    sim, net = make_net(record_link_delays=True, link_delay_sample_cap=16)
+    net.register("a", lambda msg: None)
+    net.register("b", lambda msg: None)
+    for _ in range(500):
+        net.send("a", "b", "k")
+    stats = net.link_stats[("a", "b")]
+    assert stats.messages == 500
+    assert len(stats.delay_samples) < 16
+    assert stats.delay_sample_stride > 1
+    # Decimation keeps the series in send order (the Fig 8/12 shape).
+    times = [t for t, _ in stats.delay_samples]
+    assert times == sorted(times)
+
+
+def test_link_delay_samples_unbounded_when_cap_disabled():
+    sim, net = make_net(record_link_delays=True, link_delay_sample_cap=None)
+    net.register("a", lambda msg: None)
+    net.register("b", lambda msg: None)
+    for _ in range(300):
+        net.send("a", "b", "k")
+    stats = net.link_stats[("a", "b")]
+    assert len(stats.delay_samples) == 300
+    assert stats.delay_sample_stride == 1
+
+
+def test_link_delay_sample_cap_validated():
+    with pytest.raises(ValueError):
+        make_net(record_link_delays=True, link_delay_sample_cap=1)

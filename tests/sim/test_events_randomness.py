@@ -81,3 +81,40 @@ def test_reset_restores_initial_state():
     first = streams.stream("s").random()
     streams.stream("s").random()
     assert streams.reset("s").random() == first
+
+
+def test_len_counts_only_live_events():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None, ()) for i in range(4)]
+    assert len(q) == 4
+    events[1].cancel()
+    events[2].cancel()
+    assert len(q) == 2
+    # Cancelling twice must not double-count.
+    events[1].cancel()
+    assert len(q) == 2
+    assert q.pop() is events[0]
+    assert len(q) == 1
+    assert q.pop() is events[3]
+    assert len(q) == 0
+    assert q.pop() is None
+
+
+def test_cancel_after_pop_does_not_corrupt_len():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None, ())
+    q.push(2.0, lambda: None, ())
+    assert q.pop() is first
+    first.cancel()  # already executed; must not affect the live count
+    assert len(q) == 1
+
+
+def test_simulator_pending_events_excludes_cancelled():
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending_events == 1
+    assert keep is not None

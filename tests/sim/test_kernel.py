@@ -132,3 +132,32 @@ def test_exceptions_propagate():
     sim.schedule(0.0, boom)
     with pytest.raises(RuntimeError):
         sim.run_until_idle()
+
+
+def test_run_until_predicate_timeout_with_empty_queue_advances_clock():
+    sim = Simulator()
+    assert not sim.run_until_predicate(lambda: False, timeout=5.0)
+    assert sim.now == 5.0
+
+
+def test_run_until_predicate_never_rewinds_clock():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run_until(10.0)
+    assert sim.now == 10.0
+    # A zero timeout checks the predicate without moving time at all...
+    assert not sim.run_until_predicate(lambda: False, timeout=0.0)
+    assert sim.now == 10.0
+    # ...and a (misuse) negative timeout must not move time backwards.
+    assert not sim.run_until_predicate(lambda: False, timeout=-3.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_predicate_timeout_leaves_future_events_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100.0, fired.append, "late")
+    assert not sim.run_until_predicate(lambda: False, timeout=5.0)
+    assert sim.now == 5.0
+    assert not fired
+    assert sim.pending_events == 1

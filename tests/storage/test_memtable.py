@@ -101,3 +101,24 @@ def test_many_records_query_consistency(schema):
     }
     got = {r.key for r in store.query(rect)}
     assert got == expected
+
+
+def test_wide_time_range_intersects_existing_buckets(schema):
+    # A huge requested span must cost O(buckets), not O(span / bucket_s):
+    # with the old range() materialization this query would build a
+    # ~10^12-element candidate list and effectively hang.
+    store = TimePartitionedStore(schema, bucket_s=1e-4)
+    records = [Record([10.0, t]) for t in (1.0, 2.0, 3.0)]
+    for r in records:
+        store.insert(r)
+    hits = store.query(((0.0, 1.0), (0.0, 1.0)), time_range=(0.0, 1e8))
+    assert {r.key for r in hits} == {r.key for r in records}
+
+
+def test_candidate_buckets_sorted_and_pruned(schema):
+    store = TimePartitionedStore(schema, bucket_s=100.0)
+    for t in (950.0, 50.0, 450.0):
+        store.insert(Record([1.0, t]))
+    assert list(store._candidate_buckets(None)) == [0, 4, 9]
+    assert list(store._candidate_buckets((0.0, 500.0))) == [0, 4]
+    assert list(store._candidate_buckets((400.0, 10_000.0))) == [4, 9]
