@@ -23,6 +23,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
+from benchmarks.perf.failover_bench import run_failover_scenario  # noqa: E402
 from benchmarks.perf.microbench import run_suite  # noqa: E402
 
 
@@ -37,6 +38,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     benches = run_suite(args.records, args.queries, args.seed)
+    failure_handling = run_failover_scenario(seed=args.seed)
     payload = {
         "meta": {
             "records": args.records,
@@ -46,6 +48,7 @@ def main(argv=None) -> int:
             "numpy": np.__version__,
         },
         "benches": benches,
+        "failure_handling": failure_handling,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -57,11 +60,27 @@ def main(argv=None) -> int:
             f"  speedup {entry['speedup']:7.2f}x"
         )
 
+    counters = failure_handling["counters"]
+    print(
+        f"  failover scenario: complete {failure_handling['complete_fraction']:.0%}"
+        f"  recall {failure_handling['full_recall_fraction']:.0%}"
+        f"  retries {counters['query_retries']}"
+        f"  failovers {counters['query_failovers']}"
+        f"  replica records {counters['replica_records']}"
+    )
+
     scan = benches["query_scan"]
     if scan["speedup"] < 1.0:
         print(
             "PERF REGRESSION: vectorized query scan is SLOWER than the "
             f"scalar fallback ({scan['speedup']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if failure_handling["complete_fraction"] < 1.0:
+        print(
+            "ROBUSTNESS REGRESSION: queries failed to complete via replica "
+            f"failover (complete {failure_handling['complete_fraction']:.0%})",
             file=sys.stderr,
         )
         return 1

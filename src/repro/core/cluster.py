@@ -266,6 +266,95 @@ class MindCluster:
         return self.query_now(query, origin, timeout_s=timeout_s).results
 
     # ------------------------------------------------------------------
+    # Churn experiment (Figure 16 workload)
+    # ------------------------------------------------------------------
+    def run_churn_experiment(
+        self,
+        index: str,
+        records: Sequence[Record],
+        queries: Sequence[RangeQuery],
+        mean_uptime_s: float = 60.0,
+        mean_downtime_s: float = 25.0,
+        max_concurrent_failures: int = 1,
+        query_spacing_s: float = 10.0,
+        settle_s: float = 30.0,
+        query_timeout_s: float = 240.0,
+    ) -> Dict[str, object]:
+        """Load records, then answer queries while nodes churn.
+
+        Reproduces the shape of the paper's robustness experiment
+        (Section 4.4, Figure 16): the index is pre-loaded, a stationary
+        churn process crashes and restores nodes (at most
+        ``max_concurrent_failures`` down at once — the paper's experiment
+        never lost more than a handful of its 102 nodes), and queries are
+        issued from a protected observer node throughout.  The observer
+        (``nodes[0]``) is excluded from churn so every query has a live
+        originator; everything else may fail mid-operation, exercising the
+        retry/failover machinery.
+
+        Returns a summary with completeness, recall (when the cluster
+        tracks ground truth), per-query missing regions, and the
+        aggregated retry/failover counters for just this experiment.
+        """
+        observer = self.nodes[0].address
+        churn_pool = [n.address for n in self.nodes if n.address != observer]
+        if max_concurrent_failures < 1:
+            raise ValueError("max_concurrent_failures must be at least 1")
+        min_live = max(1, len(churn_pool) - max_concurrent_failures)
+
+        insert_metrics = [self.insert_now(index, r, origin=observer) for r in records]
+        self.advance(settle_s)  # let replica stores drain before failures start
+
+        expected: Dict[str, Set[int]] = {}
+        query_metrics: List[QueryMetric] = []
+        self.failures.start_churn(
+            churn_pool, mean_uptime_s, mean_downtime_s, min_live=min_live
+        )
+        crash_log_start = len(self.failures.crash_log)
+        for query in queries:
+            metric = self.query_now(query, origin=observer, timeout_s=query_timeout_s)
+            query_metrics.append(metric)
+            if self.config.track_ground_truth:
+                expected[metric.op_id] = self.reference_answer(query)
+            self.advance(query_spacing_s)
+        self.failures.stop_churn()
+        churn_events = self.failures.crash_log[crash_log_start:]
+
+        scoped = MetricsCollector()
+        scoped.inserts = insert_metrics
+        scoped.queries = query_metrics
+        summary: Dict[str, object] = {
+            "inserts": len(insert_metrics),
+            "inserts_failed": sum(1 for m in insert_metrics if not m.success),
+            "queries": len(query_metrics),
+            "complete_queries": sum(1 for m in query_metrics if m.complete),
+            "complete_fraction": (
+                sum(1 for m in query_metrics if m.complete) / len(query_metrics)
+                if query_metrics
+                else 1.0
+            ),
+            "failed_regions": {
+                m.op_id: sorted(m.failed_regions)
+                for m in query_metrics
+                if m.failed_regions
+            },
+            "crashes": sum(1 for _, _, kind in churn_events if kind == "crash"),
+            "restores": sum(1 for _, _, kind in churn_events if kind == "restore"),
+            "failure_handling": scoped.failure_handling(),
+        }
+        if self.config.track_ground_truth:
+            full = sum(
+                1
+                for m in query_metrics
+                if m.complete and expected[m.op_id] <= m.record_keys
+            )
+            summary["full_recall_queries"] = full
+            summary["full_recall_fraction"] = (
+                full / len(query_metrics) if query_metrics else 1.0
+            )
+        return summary
+
+    # ------------------------------------------------------------------
     # Ground truth (centralized reference evaluation)
     # ------------------------------------------------------------------
     def reference_answer(self, query: RangeQuery) -> Set[int]:

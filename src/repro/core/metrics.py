@@ -19,12 +19,22 @@ class InsertMetric:
     end: Optional[float] = None
     hops: Optional[int] = None
     success: bool = False
+    #: Re-sends of the same target after a routing failure or attempt timeout.
+    retries: int = 0
+    #: Times the op re-targeted a replica-holder region after the current
+    #: target's attempts were exhausted.
+    failovers: int = 0
 
     @property
     def latency(self) -> Optional[float]:
         if self.end is None:
             return None
         return self.end - self.start
+
+    @property
+    def stored_via_failover(self) -> bool:
+        """The record landed on a replica-holder region, not its primary."""
+        return self.success and self.failovers > 0
 
 
 @dataclass
@@ -41,6 +51,16 @@ class QueryMetric:
     nodes_visited: Set[str] = field(default_factory=set)
     regions: int = 0
     complete: bool = False
+    #: Per-region sub-query re-launches (backoff retries of the same target).
+    retries: int = 0
+    #: Per-region re-targets to a replica-holder region after the primary
+    #: (or a previous replica target) was exhausted.
+    failovers: int = 0
+    #: Result records first served by a failed-over (replica) sub-query.
+    replica_records: int = 0
+    #: Regions (``"{valid_from}:{bits}"``) that exhausted primaries *and*
+    #: replicas — exactly what is missing from an incomplete result.
+    failed_regions: Set[str] = field(default_factory=set)
 
     @property
     def latency(self) -> Optional[float]:
@@ -52,6 +72,11 @@ class QueryMetric:
     def cost(self) -> int:
         """Query cost as defined in Section 4.1: overlay nodes visited."""
         return len(self.nodes_visited)
+
+    @property
+    def degraded_complete(self) -> bool:
+        """Full results, but only because replica failover filled in."""
+        return self.complete and self.failovers > 0
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -123,6 +148,26 @@ class MetricsCollector:
 
     def query_summary(self) -> LatencySummary:
         return LatencySummary.of(self.query_latencies())
+
+    def failure_handling(self) -> Dict[str, int]:
+        """Aggregate retry/failover counters across all recorded ops.
+
+        Feeds ``bench.stats.failure_handling_summary`` and the perf
+        harness's ``BENCH_PERF.json`` trajectory, so regressions in
+        failure handling show up next to latency regressions.
+        """
+        return {
+            "insert_retries": sum(m.retries for m in self.inserts),
+            "insert_failovers": sum(m.failovers for m in self.inserts),
+            "inserts_via_failover": sum(1 for m in self.inserts if m.stored_via_failover),
+            "query_retries": sum(m.retries for m in self.queries),
+            "query_failovers": sum(m.failovers for m in self.queries),
+            "replica_records": sum(m.replica_records for m in self.queries),
+            "degraded_complete_queries": sum(1 for m in self.queries if m.degraded_complete),
+            "incomplete_queries": sum(
+                1 for m in self.queries if m.end is not None and not m.complete
+            ),
+        }
 
     def query_success_fraction(self, expected: Dict[str, Set[int]]) -> float:
         """Fraction of queries that returned exactly the expected keys.

@@ -26,7 +26,7 @@ from repro.core.histogram import MultiDimHistogram
 from repro.core.metrics import InsertMetric, QueryMetric
 from repro.core.query import RangeQuery, rect_intersection
 from repro.core.records import Record
-from repro.core.replication import replica_targets
+from repro.core.replication import FULL_REPLICATION, failover_targets, replica_targets
 from repro.core.schema import IndexSchema
 from repro.core.triggers import Trigger, TriggerTable, new_trigger_id
 from repro.core.versioning import VersionedEmbedding
@@ -44,6 +44,18 @@ class MindConfig:
     code_depth: int = 16
     insert_timeout_s: float = 90.0
     query_timeout_s: float = 90.0
+    #: Attempts per routing target (the primary, then each replica-holder
+    #: region) before the op fails over to the next target — with
+    #: exponential backoff between attempts.
+    retry_max_attempts: int = 3
+    retry_backoff_base_s: float = 0.5
+    retry_backoff_max_s: float = 8.0
+    #: Watchdog per attempt: re-launches an insert / sub-query whose target
+    #: died *after* arrival (so no routing failure ever comes back).  Must
+    #: comfortably exceed the ring-recovery worst case so the explicit
+    #: failure path, when there is one, wins the race.
+    insert_attempt_timeout_s: float = 30.0
+    subquery_attempt_timeout_s: float = 30.0
     dac: DacConfig = field(default_factory=DacConfig)
     store_bucket_s: float = 300.0
     #: Columnar NumPy scans in the local store and histogram collection;
@@ -66,9 +78,59 @@ class IndexState:
 
 @dataclass
 class _InsertOp:
+    """Originator-side retry state machine for one insert.
+
+    The op walks a target list — the record's primary code, then each
+    replica-holder region from :func:`failover_targets` — giving every
+    target ``retry_max_attempts`` routing attempts with exponential
+    backoff before moving on.  Success on any target finishes the op.
+    """
+
     metric: InsertMetric
     callback: Optional[Callable[[InsertMetric], None]]
+    index: str = ""
+    record: Optional[Record] = None
+    primary: Optional[Code] = None
+    target: Optional[Code] = None
+    replication: int = 0
+    attempts: int = 0
+    #: Monotonic attempt stamp across targets; echoed by failure reports so
+    #: stale failures from superseded attempts are discarded.
+    total_attempts: int = 0
+    inflight: bool = False
+    failover_enumerated: bool = False
+    failover_queue: List[Code] = field(default_factory=list)
     timeout_event: Any = None
+    attempt_timer: Any = None
+    backoff_event: Any = None
+
+
+@dataclass
+class _RegionState:
+    """Retry/failover state for one sub-query region of a query op.
+
+    ``bits`` is the region currently being targeted; it starts at
+    ``primary_bits`` and moves through the replica-holder regions when the
+    primary's attempts are exhausted.  The op's pending/answered sets are
+    keyed by ``"{valid_from}:{bits}"`` of the *current* target, so a
+    failover re-keys the region under its new target.
+    """
+
+    valid_from: float
+    bits: str
+    primary_bits: str
+    attempts: int = 0
+    total_attempts: int = 0
+    inflight: bool = False
+    on_failover: bool = False
+    failover_enumerated: bool = False
+    failover_queue: List[str] = field(default_factory=list)
+    #: Primary regions whose failover collapsed onto this region state
+    #: (two dead primaries sharing a replica holder); reported missing as
+    #: a group if this state also fails permanently.
+    merged_primaries: List[str] = field(default_factory=list)
+    attempt_timer: Any = None
+    backoff_event: Any = None
 
 
 @dataclass
@@ -79,6 +141,12 @@ class _QueryOp:
     answered: Set[str] = field(default_factory=set)
     records: Dict[int, Record] = field(default_factory=dict)
     failed_regions: Set[str] = field(default_factory=set)
+    regions: Dict[str, _RegionState] = field(default_factory=dict)
+    #: Sub-query payload template per index version (keyed by valid_from),
+    #: kept so any region — including responder-spawned ones — can be
+    #: re-launched from the originator.
+    inner_by_version: Dict[float, Dict[str, Any]] = field(default_factory=dict)
+    replication: int = 0
     callback: Optional[Callable[[QueryMetric], None]] = None
     timeout_event: Any = None
     done: bool = False
@@ -291,24 +359,34 @@ class MindNode(OverlayNode):
         elif inner_kind == "trigger_install":
             self._arrive_trigger_install(envelope)
         else:
-            raise ValueError(f"unexpected routed kind {inner_kind!r}")
+            super().on_route_arrival(envelope)
 
     def on_route_failed(self, envelope: Dict[str, Any], reason: str) -> None:
         inner_kind = envelope["inner_kind"]
+        if inner_kind not in ("insert", "trigger_install", "subquery"):
+            super().on_route_failed(envelope, reason)
+            return
+        inner = envelope["inner"]
         origin = envelope["origin"]
         if inner_kind == "insert":
-            payload = {"kind": "insert", "op_id": envelope["inner"]["op_id"]}
+            payload = {
+                "kind": "insert",
+                "op_id": inner["op_id"],
+                "attempt": inner.get("attempt", 1),
+            }
         elif inner_kind == "trigger_install":
             payload = {
                 "kind": "trigger_install",
-                "op_id": envelope["inner"]["reg_id"],
+                "op_id": inner["reg_id"],
                 "region": envelope["target"],
             }
         else:
             payload = {
                 "kind": "subquery",
-                "op_id": envelope["inner"]["qid"],
-                "region": f"{envelope['inner']['version']}:{envelope['target']}",
+                "op_id": inner["qid"],
+                "version": inner["version"],
+                "region_bits": envelope["target"],
+                "attempt": inner.get("attempt", 1),
             }
         if origin == self.address:
             self._apply_op_failure(payload)
@@ -320,9 +398,12 @@ class MindNode(OverlayNode):
 
     def _apply_op_failure(self, payload: Dict[str, Any]) -> None:
         if payload["kind"] == "insert":
-            op = self._insert_ops.pop(payload["op_id"], None)
-            if op is not None:
-                self._finish_insert(op, success=False, hops=None)
+            op = self._insert_ops.get(payload["op_id"])
+            if op is None or not op.inflight:
+                return
+            if payload.get("attempt", op.total_attempts) != op.total_attempts:
+                return  # stale failure from a superseded attempt
+            self._insert_attempt_failed(payload["op_id"])
         elif payload["kind"] == "trigger_install":
             reg = self._trigger_regs.get(payload["op_id"])
             if reg is not None:
@@ -332,11 +413,33 @@ class MindNode(OverlayNode):
                     self._finish_trigger_registration(payload["op_id"])
         else:
             op = self._query_ops.get(payload["op_id"])
-            if op is not None and not op.done:
-                op.failed_regions.add(payload["region"])
-                op.pending.discard(payload["region"])
-                if not op.pending:
-                    self._finish_query(op)
+            if op is None or op.done:
+                return
+            valid_from = payload["version"]
+            bits = payload["region_bits"]
+            key = self._region_key(valid_from, bits)
+            if key in op.answered:
+                return
+            region = op.regions.get(key)
+            if region is None:
+                # A responder-spawned sub-query failed before the response
+                # announcing it arrived; adopt the region so the retry
+                # machinery owns it from here.
+                if valid_from not in op.inner_by_version:
+                    return
+                region = _RegionState(
+                    valid_from=valid_from,
+                    bits=bits,
+                    primary_bits=bits,
+                    attempts=1,
+                    total_attempts=payload.get("attempt", 1),
+                    inflight=True,
+                )
+                op.regions[key] = region
+                op.pending.add(key)
+            elif not region.inflight or payload.get("attempt", region.total_attempts) != region.total_attempts:
+                return
+            self._subquery_attempt_failed(op, key)
 
     # ==================================================================
     # Insertion (Section 3.5)
@@ -355,14 +458,95 @@ class MindNode(OverlayNode):
         code = embedding.point_code(record.values)
         op_id = self._next_op_id()
         metric = InsertMetric(op_id=op_id, index=index, origin=self.address, start=self.sim.now)
-        op = _InsertOp(metric=metric, callback=callback)
+        op = _InsertOp(
+            metric=metric,
+            callback=callback,
+            index=index,
+            record=record,
+            primary=code,
+            target=code,
+            replication=state.replication,
+        )
         op.timeout_event = self.sim.schedule(
             self.mind_config.insert_timeout_s, self._insert_timed_out, op_id
         )
         self._insert_ops[op_id] = op
-        inner = {"index": index, "record": record.to_wire(), "op_id": op_id}
-        self.route(code, "insert", inner, op_id=("ins", op_id), tuples=1)
+        self._launch_insert_attempt(op_id)
         return op_id
+
+    def _retry_backoff(self, attempts: int) -> float:
+        """Exponential backoff (with a little jitter) before attempt N+1."""
+        cfg = self.mind_config
+        base = min(cfg.retry_backoff_base_s * (2 ** (attempts - 1)), cfg.retry_backoff_max_s)
+        return base * (1.0 + 0.1 * self._rng.random())
+
+    def _launch_insert_attempt(self, op_id: str) -> None:
+        op = self._insert_ops.get(op_id)
+        if op is None:
+            return
+        op.backoff_event = None
+        op.attempts += 1
+        op.total_attempts += 1
+        op.inflight = True
+        op.attempt_timer = self.sim.schedule(
+            self.mind_config.insert_attempt_timeout_s,
+            self._insert_attempt_timed_out,
+            op_id,
+            op.total_attempts,
+        )
+        inner = {
+            "index": op.index,
+            "record": op.record.to_wire(),
+            "op_id": op_id,
+            "attempt": op.total_attempts,
+        }
+        self.route(
+            op.target,
+            "insert",
+            inner,
+            op_id=("ins", op_id, op.total_attempts),
+            tuples=1,
+            attempt=op.total_attempts,
+        )
+
+    def _insert_attempt_timed_out(self, op_id: str, stamp: int) -> None:
+        op = self._insert_ops.get(op_id)
+        if op is None or not op.inflight or op.total_attempts != stamp:
+            return
+        self._insert_attempt_failed(op_id)
+
+    def _insert_attempt_failed(self, op_id: str) -> None:
+        """One routing attempt is dead: back off and retry, fail over to the
+        next replica-holder region, or give up when both are exhausted."""
+        op = self._insert_ops.get(op_id)
+        if op is None:
+            return
+        op.inflight = False
+        if op.attempt_timer is not None:
+            op.attempt_timer.cancel()
+            op.attempt_timer = None
+        if op.attempts < self.mind_config.retry_max_attempts:
+            op.metric.retries += 1
+            op.backoff_event = self.sim.schedule(
+                self._retry_backoff(op.attempts), self._launch_insert_attempt, op_id
+            )
+            return
+        if not op.failover_enumerated:
+            op.failover_enumerated = True
+            if self.in_overlay():
+                # The originator does not know the (dead) owner's exact code
+                # length; its own depth is the best estimate in a balanced
+                # trie, and the flips land in the takeover regions.
+                depth = min(len(self.code), len(op.primary))
+                op.failover_queue = failover_targets(op.primary, op.replication, depth)
+        if op.failover_queue:
+            op.target = op.failover_queue.pop(0)
+            op.attempts = 0
+            op.metric.failovers += 1
+            self._launch_insert_attempt(op_id)
+            return
+        self._insert_ops.pop(op_id, None)
+        self._finish_insert(op, success=False, hops=None)
 
     def _insert_timed_out(self, op_id: str) -> None:
         op = self._insert_ops.pop(op_id, None)
@@ -370,8 +554,10 @@ class MindNode(OverlayNode):
             self._finish_insert(op, success=False, hops=None)
 
     def _finish_insert(self, op: _InsertOp, success: bool, hops: Optional[int]) -> None:
-        if op.timeout_event is not None:
-            op.timeout_event.cancel()
+        for event in (op.timeout_event, op.attempt_timer, op.backoff_event):
+            if event is not None:
+                event.cancel()
+        op.timeout_event = op.attempt_timer = op.backoff_event = None
         op.metric.end = self.sim.now
         op.metric.success = success
         op.metric.hops = hops
@@ -393,6 +579,12 @@ class MindNode(OverlayNode):
 
     def _complete_insert_store(self, state: IndexState, record: Record, envelope: Dict[str, Any]) -> None:
         if not self.in_overlay():
+            # We accepted the insert but left the overlay between DAC submit
+            # and completion.  Tell the originator now — it turns this into
+            # a retry/failover immediately instead of waiting out the full
+            # insert timeout.  (A *crashed* node can't send; the
+            # originator's attempt watchdog covers that case.)
+            self.on_route_failed(envelope, "left-overlay")
             return
         if state.store.insert(record):
             self.records_stored += 1
@@ -467,7 +659,13 @@ class MindNode(OverlayNode):
 
         op_id = self._next_op_id()
         metric = QueryMetric(op_id=op_id, index=query.index, origin=self.address, start=self.sim.now)
-        op = _QueryOp(metric=metric, query=query, pending=set(), callback=callback)
+        op = _QueryOp(
+            metric=metric,
+            query=query,
+            pending=set(),
+            callback=callback,
+            replication=state.replication,
+        )
         op.timeout_event = self.sim.schedule(
             self.mind_config.query_timeout_s, self._query_timed_out, op_id
         )
@@ -476,18 +674,157 @@ class MindNode(OverlayNode):
         time_dim = state.schema.time_dimension()
         for version_idx, seg_lo, seg_hi in segments:
             seg_rect = self._clamp_time(rect, state.schema, time_dim, seg_lo, seg_hi)
-            embedding = state.versions.versions[version_idx][1]
+            # Versions are referenced by valid_from on the wire: list
+            # positions diverge across nodes once anyone has run
+            # retire_before, but the valid_from key is globally stable.
+            valid_from, embedding = state.versions.versions[version_idx]
             prefix = embedding.query_prefix(seg_rect)
-            op.pending.add(f"{version_idx}:{prefix.bits}")
-            inner = {
+            op.inner_by_version[valid_from] = {
                 "index": query.index,
                 "qid": op_id,
                 "rect": [list(side) for side in seg_rect],
-                "version": version_idx,
+                "version": valid_from,
                 "time_range": [seg_lo, seg_hi],
             }
-            self.route(prefix, "subquery", inner, op_id=("sub", op_id, version_idx, prefix.bits))
+            key = self._region_key(valid_from, prefix.bits)
+            op.regions[key] = _RegionState(
+                valid_from=valid_from, bits=prefix.bits, primary_bits=prefix.bits
+            )
+            op.pending.add(key)
+            self._launch_subquery(op_id, key)
         return op_id
+
+    @staticmethod
+    def _region_key(valid_from: float, bits: str) -> str:
+        return f"{valid_from}:{bits}"
+
+    def _plausible_failover_holder(self, failed: Code, level: int) -> bool:
+        """Could this node hold level-``level`` replicas of ``failed``'s data?
+
+        The originator flips bits of the failed region as if it were a
+        single dead owner's region.  This node sees the region's interior
+        through its neighbor table: if the region was subdivided deeper
+        than the replication level reaches outward, every surviving copy
+        lived *inside* the dead region and answering would fake
+        completeness — refuse instead, so the originator reports the
+        region missing.  A known interior owner at depth ``k`` only
+        replicates outside a region of length ``f`` when ``level > k - f``.
+        """
+        if self.code is None or level == 0:
+            return False
+        deepest = len(failed)
+        for _, code in self.links(alive_only=False):
+            if code.comparable(failed) and len(code) > deepest:
+                deepest = len(code)
+        m = deepest if level == FULL_REPLICATION else level
+        if m <= deepest - len(failed):
+            return False
+        return any(
+            self.code.comparable(target)
+            for target in failover_targets(failed, level, len(failed))
+        )
+
+    def _launch_subquery(self, op_id: str, key: str) -> None:
+        op = self._query_ops.get(op_id)
+        if op is None or op.done:
+            return
+        region = op.regions.get(key)
+        if region is None or key in op.answered:
+            return
+        region.backoff_event = None
+        region.attempts += 1
+        region.total_attempts += 1
+        region.inflight = True
+        region.attempt_timer = self.sim.schedule(
+            self.mind_config.subquery_attempt_timeout_s,
+            self._subquery_attempt_timed_out,
+            op_id,
+            key,
+            region.total_attempts,
+        )
+        inner = dict(op.inner_by_version[region.valid_from])
+        inner["attempt"] = region.total_attempts
+        if region.on_failover:
+            inner["failover"] = True
+            inner["failover_for"] = region.primary_bits
+        self.route(
+            Code(region.bits),
+            "subquery",
+            inner,
+            op_id=("sub", op_id, region.valid_from, region.bits, region.total_attempts),
+            attempt=region.total_attempts,
+        )
+
+    def _subquery_attempt_timed_out(self, op_id: str, key: str, stamp: int) -> None:
+        op = self._query_ops.get(op_id)
+        if op is None or op.done or key in op.answered:
+            return
+        region = op.regions.get(key)
+        if region is None or not region.inflight or region.total_attempts != stamp:
+            return
+        self._subquery_attempt_failed(op, key)
+
+    def _subquery_attempt_failed(self, op: _QueryOp, key: str) -> None:
+        """One sub-query attempt is dead: retry with backoff, fail over to a
+        replica-holder region, or record the region as missing."""
+        region = op.regions[key]
+        region.inflight = False
+        if region.attempt_timer is not None:
+            region.attempt_timer.cancel()
+            region.attempt_timer = None
+        if region.attempts < self.mind_config.retry_max_attempts:
+            op.metric.retries += 1
+            region.backoff_event = self.sim.schedule(
+                self._retry_backoff(region.attempts),
+                self._launch_subquery,
+                op.metric.op_id,
+                key,
+            )
+            return
+        if not region.failover_enumerated:
+            region.failover_enumerated = True
+            # The flips assume the failed region is one dead owner's region.
+            # When it is actually a subdivided subtree the targets may not
+            # hold its replicas — the responder-side holder check
+            # (:meth:`_plausible_failover_holder`) rejects those sub-queries
+            # so a non-holder's answer can't fake completeness.
+            region.failover_queue = [
+                c.bits
+                for c in failover_targets(
+                    Code(region.primary_bits), op.replication, len(region.primary_bits)
+                )
+            ]
+        op.pending.discard(key)
+        op.regions.pop(key, None)
+        if region.failover_queue:
+            new_bits = region.failover_queue.pop(0)
+            op.metric.failovers += 1
+            new_key = self._region_key(region.valid_from, new_bits)
+            if new_key in op.answered:
+                # The replica region already answered this op from its whole
+                # local store, so the failed region's surviving copies are
+                # in the merged results; nothing left to fetch.
+                if not op.pending:
+                    self._finish_query(op)
+                return
+            other = op.regions.get(new_key)
+            if other is not None:
+                # Another failed primary is already querying this replica
+                # region; ride along and share its fate.
+                other.merged_primaries.append(region.primary_bits)
+                other.merged_primaries.extend(region.merged_primaries)
+                return
+            region.bits = new_bits
+            region.attempts = 0
+            region.on_failover = True
+            op.regions[new_key] = region
+            op.pending.add(new_key)
+            self._launch_subquery(op.metric.op_id, new_key)
+            return
+        for primary in [region.primary_bits, *region.merged_primaries]:
+            op.failed_regions.add(self._region_key(region.valid_from, primary))
+        if not op.pending:
+            self._finish_query(op)
 
     @staticmethod
     def _query_time_range(schema: IndexSchema, query: RangeQuery) -> Tuple[Optional[float], Optional[float]]:
@@ -540,15 +877,33 @@ class MindNode(OverlayNode):
 
     def _query_timed_out(self, op_id: str) -> None:
         op = self._query_ops.get(op_id)
-        if op is not None and not op.done:
+        if op is None or op.done:
+            return
+        if op.pending:
+            # Report exactly which regions never answered, by their primary
+            # identity, so a degraded result names what is missing.
+            for key in op.pending:
+                region = op.regions.get(key)
+                if region is None:
+                    op.failed_regions.add(key)
+                    continue
+                for primary in [region.primary_bits, *region.merged_primaries]:
+                    op.failed_regions.add(self._region_key(region.valid_from, primary))
+        else:
             op.failed_regions.add("timeout")
-            self._finish_query(op)
+        self._finish_query(op)
 
     def _finish_query(self, op: _QueryOp) -> None:
         op.done = True
         self._query_ops.pop(op.metric.op_id, None)
         if op.timeout_event is not None:
             op.timeout_event.cancel()
+        for region in op.regions.values():
+            for event in (region.attempt_timer, region.backoff_event):
+                if event is not None:
+                    event.cancel()
+            region.attempt_timer = region.backoff_event = None
+        op.metric.failed_regions = set(op.failed_regions)
         op.metric.end = self.sim.now
         op.metric.records = len(op.records)
         op.metric.record_keys = set(op.records)
@@ -573,18 +928,28 @@ class MindNode(OverlayNode):
             self.on_route_failed(envelope, "no-such-index")
             return
 
-        version_idx = min(inner["version"], len(state.versions.versions) - 1)
-        embedding = state.versions.versions[version_idx][1]
+        if inner.get("failover"):
+            failed = Code(inner.get("failover_for", envelope["target"]))
+            if not self._plausible_failover_holder(failed, state.replication):
+                # We cover the flip target but never received this region's
+                # replicas (it was subdivided past the replication level's
+                # outward reach) — answering would fake completeness.
+                self.on_route_failed(envelope, "not-replica-holder")
+                return
+
+        embedding = state.versions.embedding_for_version(inner["version"])
         qrect = tuple((lo, hi) for lo, hi in inner["rect"])
         own = self._owned_region_for(region)
 
         spawned: List[str] = []
-        if own is not None and len(own) > len(region):
+        if not inner.get("failover") and own is not None and len(own) > len(region):
             # This node owns a sub-region of the addressed region: split the
             # remainder into complement cells and route each as its own
             # sub-query (the paper's query splitting at the first abutting
-            # node).
-            answer_region = own
+            # node).  Failed-over sub-queries skip the split: replicas are
+            # placed by the dead node's code, not by the query rectangle,
+            # so rect pruning would be wrong — the holder answers from its
+            # whole local store instead.
             for i in range(len(region), len(own)):
                 cell = own.prefix(i + 1).flip(i)
                 cell_rect = embedding.region_rect(cell)
@@ -595,11 +960,10 @@ class MindNode(OverlayNode):
                         cell,
                         "subquery",
                         sub_env_inner,
-                        op_id=("sub", inner["qid"], inner["version"], cell.bits),
+                        op_id=("sub", inner["qid"], inner["version"], cell.bits, inner.get("attempt", 1)),
                         origin=envelope["origin"],
+                        attempt=inner.get("attempt", 1),
                     )
-        else:
-            answer_region = region
 
         time_range = inner.get("time_range")
         t_range = None
@@ -706,6 +1070,8 @@ class MindNode(OverlayNode):
             "records": [r.to_wire() for r in matches],
             "path": envelope["path"],
             "responder": self.address,
+            "attempt": envelope["inner"].get("attempt", 1),
+            "failover": bool(envelope["inner"].get("failover", False)),
         }
         size = self.mind_config.response_base_bytes + self.mind_config.record_wire_bytes * len(matches)
         if origin == self.address:
@@ -727,27 +1093,63 @@ class MindNode(OverlayNode):
         op = self._query_ops.get(payload["qid"])
         if op is None or op.done:
             return
-        version = payload.get("version", 0)
-        region = f"{version}:{payload['region']}"
+        valid_from = payload.get("version", 0)
+        key = self._region_key(valid_from, payload["region"])
+        from_failover = bool(payload.get("failover"))
         op.metric.nodes_visited.update(payload["path"])
         op.metric.nodes_visited.add(payload["responder"])
+        schema = self._state(op.query.index).schema
         for wire in payload["records"]:
             record = Record.from_wire(wire)
-            if op.query.matches(self._state(op.query.index).schema, record):
+            if op.query.matches(schema, record):
+                if from_failover and record.key not in op.records:
+                    op.metric.replica_records += 1
                 op.records[record.key] = record
-        if region not in op.answered:
+        if key not in op.answered:
             # Responses can arrive out of order (a child sub-query may beat
             # the parent that spawned it), so track answered regions and
             # only add spawned regions not yet accounted for.
-            op.answered.add(region)
-            op.pending.discard(region)
+            op.answered.add(key)
+            op.pending.discard(key)
+            region = op.regions.pop(key, None)
+            if region is not None:
+                for event in (region.attempt_timer, region.backoff_event):
+                    if event is not None:
+                        event.cancel()
             for spawned in payload["spawned"]:
-                key = f"{version}:{spawned}"
-                if key not in op.answered:
-                    op.pending.add(key)
+                self._track_spawned(op, valid_from, spawned, payload.get("attempt", 1))
             op.metric.regions += 1
         if not op.pending:
             self._finish_query(op)
+
+    def _track_spawned(self, op: _QueryOp, valid_from: float, bits: str, stamp: int) -> None:
+        """Adopt a responder-spawned sub-query region into the retry machinery.
+
+        The responder already routed the sub-query (counted as this
+        region's first in-flight attempt); the originator arms the attempt
+        watchdog so a spawned sub-query that dies silently is re-launched
+        from here.
+        """
+        key = self._region_key(valid_from, bits)
+        if key in op.answered or key in op.regions:
+            return
+        region = _RegionState(
+            valid_from=valid_from,
+            bits=bits,
+            primary_bits=bits,
+            attempts=1,
+            total_attempts=stamp,
+            inflight=True,
+        )
+        region.attempt_timer = self.sim.schedule(
+            self.mind_config.subquery_attempt_timeout_s,
+            self._subquery_attempt_timed_out,
+            op.metric.op_id,
+            key,
+            stamp,
+        )
+        op.regions[key] = region
+        op.pending.add(key)
 
     def _owned_region_for(self, region: Code) -> Optional[Code]:
         """The owned region code comparable with ``region``, if any."""
@@ -788,7 +1190,7 @@ class MindNode(OverlayNode):
         self._trigger_subs[trigger.trigger_id] = callback
 
         rect = query.normalized_rect(state.schema)
-        version_idx = len(state.versions.versions) - 1
+        latest_valid_from = state.versions.versions[-1][0]
         embedding = state.versions.latest()
         prefix = embedding.query_prefix(rect)
         reg_id = self._next_op_id()
@@ -803,7 +1205,7 @@ class MindNode(OverlayNode):
             "index": query.index,
             "reg_id": reg_id,
             "rect": [list(side) for side in rect],
-            "version": version_idx,
+            "version": latest_valid_from,
             "trigger": trigger.to_wire(),
         }
         self.route(prefix, "trigger_install", inner, op_id=("trig", reg_id, prefix.bits))
@@ -825,8 +1227,7 @@ class MindNode(OverlayNode):
         if state is None:
             self.on_route_failed(envelope, "no-such-index")
             return
-        version_idx = min(inner["version"], len(state.versions.versions) - 1)
-        embedding = state.versions.versions[version_idx][1]
+        embedding = state.versions.embedding_for_version(inner["version"])
         qrect = tuple((lo, hi) for lo, hi in inner["rect"])
         own = self._owned_region_for(region)
 

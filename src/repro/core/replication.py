@@ -23,7 +23,21 @@ def replica_targets(code: Code, level: int) -> List[Code]:
     across every dimension of the node's code.  The usable level is capped
     at the code length.
     """
-    k = len(code)
+    return failover_targets(code, level, len(code))
+
+
+def failover_targets(code: Code, level: int, depth: int) -> List[Code]:
+    """Replica-holder regions for a target whose owner sits around ``depth``.
+
+    Replica placement flips the owner's low-order bits (dimensions k-1
+    down to k-m), so those same flips — applied to any code routed at the
+    owner, truncated to the owner's depth — enumerate the regions that
+    hold copies and take over after a failure.  An originator that only
+    knows a full-resolution data code (or a query-region prefix) passes
+    its best estimate of the owner's code length as ``depth`` and retries
+    against each returned region in order.
+    """
+    k = min(depth, len(code))
     if level == FULL_REPLICATION:
         m = k
     elif level < 0:

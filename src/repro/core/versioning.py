@@ -44,7 +44,13 @@ class VersionedEmbedding:
         return chosen
 
     def version_index_for_time(self, t: float) -> int:
-        """Position of the version in force at ``t`` (for wire references)."""
+        """Position of the version in force at ``t`` (local bookkeeping).
+
+        Positions are *not* stable across nodes once :meth:`retire_before`
+        has run anywhere, so they must never go on the wire — wire
+        references are keyed by ``valid_from`` (see
+        :meth:`embedding_for_version`).
+        """
         chosen = 0
         for i, (valid_from, _) in enumerate(self._versions):
             if valid_from <= t:
@@ -52,6 +58,23 @@ class VersionedEmbedding:
             else:
                 break
         return chosen
+
+    def valid_from_for_time(self, t: float) -> float:
+        """The ``valid_from`` key of the version in force at ``t``."""
+        return self._versions[self.version_index_for_time(t)][0]
+
+    def embedding_for_version(self, valid_from: float) -> Embedding:
+        """Resolve a wire version reference (keyed by ``valid_from``).
+
+        An exact key match wins; otherwise — the sender knows a version
+        this node already retired, or vice versa — fall back to the
+        version in force at that time, which is the closest surviving
+        approximation of the referenced cut tree.
+        """
+        for vf, embedding in self._versions:
+            if vf == valid_from:
+                return embedding
+        return self.for_time(valid_from)
 
     def latest(self) -> Embedding:
         return self._versions[-1][1]
@@ -81,6 +104,15 @@ class VersionedEmbedding:
     def from_wire(cls, data: List[Dict]) -> "VersionedEmbedding":
         if not data:
             raise ValueError("empty version list")
+        seen = set()
+        for entry in data:
+            valid_from = entry["valid_from"]
+            if valid_from in seen:
+                # install() rejects duplicate valid_from keys; a wire list
+                # must obey the same invariant or replicas of the version
+                # map diverge on which embedding a key resolves to.
+                raise ValueError(f"duplicate version valid_from={valid_from} on the wire")
+            seen.add(valid_from)
         first = Embedding.from_wire(data[0]["embedding"])
         versioned = cls(first)
         versioned._versions = [(d["valid_from"], Embedding.from_wire(d["embedding"])) for d in data]

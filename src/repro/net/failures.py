@@ -38,6 +38,10 @@ class FailureInjector:
         self.on_restore = on_restore
         self._rng = sim.rng("failures")
         self.crash_log: List[Tuple[float, str, str]] = []
+        self._churn_event = None
+        #: Bumped on every (re)start/stop; in-flight ticks from an older
+        #: generation see the mismatch and die instead of re-scheduling.
+        self._churn_generation = 0
 
     # ------------------------------------------------------------------
     # Direct injection
@@ -76,20 +80,41 @@ class FailureInjector:
         """
         if min_live < 1:
             raise ValueError("min_live must be at least 1")
+        # Idempotent: a second start replaces the running process instead
+        # of stacking a second tick loop (which would double the churn
+        # rate and leave one loop uncancellable forever).
+        self.stop_churn()
         self._churn_addresses = list(addresses)
         self._churn_mean_up = mean_uptime_s
         self._churn_mean_down = mean_downtime_s
         self._churn_min_live = min_live
-        self.sim.schedule(self._rng.expovariate(1.0 / mean_uptime_s), self._churn_tick)
+        self._churn_event = self.sim.schedule(
+            self._rng.expovariate(1.0 / mean_uptime_s), self._churn_tick, self._churn_generation
+        )
 
-    def _churn_tick(self) -> None:
+    def stop_churn(self) -> None:
+        """Cancel the churn process; crashed nodes still get their restores."""
+        self._churn_generation += 1
+        if self._churn_event is not None:
+            self._churn_event.cancel()
+            self._churn_event = None
+
+    @property
+    def churn_active(self) -> bool:
+        return self._churn_event is not None
+
+    def _churn_tick(self, generation: int) -> None:
+        if generation != self._churn_generation:
+            return
         live = [a for a in self._churn_addresses if self.network.is_node_up(a)]
         if len(live) > self._churn_min_live:
             victim = self._rng.choice(live)
             downtime = self._rng.expovariate(1.0 / self._churn_mean_down)
             self._do_crash(victim)
             self.sim.schedule(downtime, self._do_restore, victim)
-        self.sim.schedule(self._rng.expovariate(1.0 / self._churn_mean_up), self._churn_tick)
+        self._churn_event = self.sim.schedule(
+            self._rng.expovariate(1.0 / self._churn_mean_up), self._churn_tick, generation
+        )
 
     # ------------------------------------------------------------------
     # Internals

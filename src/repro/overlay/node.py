@@ -101,6 +101,11 @@ class OverlayNode:
         #: broadcast branches exponentially in the node degree.
         self._ring_seen: Dict[Any, int] = {}
         self._declared_dead: Set[str] = set()
+        #: Fallback adoptions awaiting a reachability probe: region bits ->
+        #: the backstop timer that adopts if neither an ack nor an explicit
+        #: unreachable report arrives.
+        self._pending_adoptions: Dict[str, Any] = {}
+        self._probe_seq = 0
 
         self.bootstrap_provider: Optional[Callable[[str], Optional[str]]] = None
         self.on_joined_callbacks: List[Callable[["OverlayNode"], None]] = []
@@ -132,6 +137,8 @@ class OverlayNode:
             "route": self._on_route,
             "ring_probe": self._on_ring_probe,
             "ring_found": self._on_ring_found,
+            "adopt_probe_ack": self._on_adopt_probe_ack,
+            "adopt_probe_dead": self._on_adopt_probe_dead,
         }
         network.register(address, self._deliver)
 
@@ -139,10 +146,21 @@ class OverlayNode:
     # Hooks for subclasses
     # ==================================================================
     def on_route_arrival(self, envelope: Dict[str, Any]) -> None:
-        """Called when a routed message reaches a responsible node."""
+        """Called when a routed message reaches a responsible node.
+
+        Overlay-level routed kinds (adoption probes) are handled here;
+        subclasses must delegate kinds they don't recognise to ``super()``.
+        """
+        if envelope["inner_kind"] == "adopt_probe":
+            self._arrive_adopt_probe(envelope)
 
     def on_route_failed(self, envelope: Dict[str, Any], reason: str) -> None:
-        """Called when routing gave up (ring recovery exhausted)."""
+        """Called when routing gave up (ring recovery exhausted).
+
+        Same delegation contract as :meth:`on_route_arrival`.
+        """
+        if envelope["inner_kind"] == "adopt_probe":
+            self._adopt_probe_unreachable(envelope)
 
     def on_split_transfer_state(self, old_code: Code, joiner_code: Code) -> Dict[str, Any]:
         """Host-side: application state handed to the joiner."""
@@ -195,6 +213,9 @@ class OverlayNode:
         self._last_heard = {}
         self._ring_state = {}
         self._declared_dead = set()
+        for event in self._pending_adoptions.values():
+            event.cancel()
+        self._pending_adoptions = {}
         if self._hb_event is not None:
             self._hb_event.cancel()
             self._hb_event = None
@@ -522,7 +543,10 @@ class OverlayNode:
 
     def _on_code_update(self, msg: Message) -> None:
         payload = msg.payload
-        self.neighbors.upsert(payload["address"], Code(payload["code"]))
+        code = Code(payload["code"])
+        self.neighbors.upsert(payload["address"], code)
+        if payload["address"] != self.address:
+            self._cede_adoptions_to(code)
 
     # ==================================================================
     # Routing
@@ -535,8 +559,18 @@ class OverlayNode:
         op_id: Any,
         origin: Optional[str] = None,
         tuples: int = 0,
+        attempt: int = 1,
+        exclude: Optional[List[str]] = None,
     ) -> None:
-        """Start routing an application message toward ``target``."""
+        """Start routing an application message toward ``target``.
+
+        ``attempt`` stamps the envelope so retried sends are
+        distinguishable end to end (failure reports echo it, letting the
+        originator discard stale failures from superseded attempts), and a
+        fresh ``op_id`` per attempt keeps ring-recovery state from one
+        attempt from suppressing the next.  ``exclude`` pre-loads
+        addresses a retry already knows to be unreachable.
+        """
         envelope = {
             "target": target.bits,
             "inner_kind": inner_kind,
@@ -545,7 +579,8 @@ class OverlayNode:
             "origin": origin or self.address,
             "hops": 0,
             "path": [self.address],
-            "exclude": [],
+            "exclude": list(exclude) if exclude else [],
+            "attempt": attempt,
             "tuples": tuples,
         }
         self._route_step(envelope)
@@ -563,7 +598,9 @@ class OverlayNode:
         if envelope["hops"] >= self.config.route_ttl:
             self.on_route_failed(envelope, "ttl-exceeded")
             return
-        decision = next_hop(self.code, target, self.links(), exclude=envelope["exclude"])
+        decision = next_hop(
+            self.code, target, self.links(), exclude=envelope["exclude"], visited=envelope["path"]
+        )
         if decision.next_hop is None:
             self._start_ring_recovery(envelope)
             return
@@ -609,6 +646,14 @@ class OverlayNode:
         if state is None or state["found"]:
             return
         envelope = state["envelope"]
+        if self.covers(Code(envelope["target"])):
+            # A takeover or adoption since the last round made *us* the
+            # responsible node (a recovery transient, e.g. we are the dead
+            # target's sibling and declared it dead mid-ring): deliver
+            # locally instead of burning the remaining rounds and failing.
+            del self._ring_state[op_id]
+            self.on_route_arrival(envelope)
+            return
         ttl = state["ttl"]
         if ttl > self.config.ring_max_ttl:
             del self._ring_state[op_id]
@@ -690,6 +735,8 @@ class OverlayNode:
         code = Code(msg.payload["code"])
         self.neighbors.upsert(msg.src, code)
         self.neighbors.mark_alive(msg.src)
+        if self.adopted or self._pending_adoptions:
+            self._cede_adoptions_to(code)
 
     def _suspect(self, addr: str, code: Code) -> None:
         if addr in self._declared_dead:
@@ -779,16 +826,91 @@ class OverlayNode:
     def _maybe_adopt(self, dead_code: Code, dead_addr: str) -> None:
         if not self.in_overlay():
             return
-        if self.covers(dead_code):
+        if self.covers(dead_code) or dead_code.bits in self._pending_adoptions:
             return
         # Someone else may have taken over already; check our view.
+        sibling = dead_code.sibling()
         for peer, code in self.neighbors.entries(alive_only=True):
-            if peer != dead_addr and code.comparable(dead_code):
+            if peer != dead_addr and (code.comparable(dead_code) or code == sibling):
+                # Taken over (or about to be: the exact sibling takes over
+                # the moment it declares the death itself).
+                return
+        # Our pruned neighborhood cannot see every candidate — the true
+        # sibling usually is *not* in it, and with replication >= 1 it
+        # holds the dead region's replicas while we hold nothing.
+        # Adopting over a live takeover would shadow the replica holder
+        # with a dataless copy of the region and queries would silently
+        # lose records, so probe the region through routing first and
+        # adopt only when nothing live answers.
+        self._probe_seq += 1
+        op_id = ("adopt-probe", self.address, self._probe_seq)
+        backstop = (self.config.ring_max_ttl + 2) * self.config.ring_step_timeout_s
+        self._pending_adoptions[dead_code.bits] = self.sim.schedule(
+            backstop, self._adopt_now, dead_code.bits
+        )
+        self.route(
+            dead_code,
+            "adopt_probe",
+            {"claimant": self.address, "probe": dead_code.bits},
+            op_id,
+            exclude=[dead_addr],
+        )
+
+    def _arrive_adopt_probe(self, envelope: Dict[str, Any]) -> None:
+        claimant = envelope["inner"]["claimant"]
+        if claimant != self.address:
+            self._send(
+                claimant,
+                "adopt_probe_ack",
+                {"code": self.code.bits, "probe": envelope["inner"]["probe"]},
+            )
+
+    def _adopt_probe_unreachable(self, envelope: Dict[str, Any]) -> None:
+        claimant = envelope["inner"]["claimant"]
+        if claimant == self.address:
+            self._adopt_now(envelope["inner"]["probe"])
+        else:
+            self._send(claimant, "adopt_probe_dead", {"probe": envelope["inner"]["probe"]})
+
+    def _on_adopt_probe_ack(self, msg: Message) -> None:
+        code = Code(msg.payload["code"])
+        self.neighbors.upsert(msg.src, code)
+        event = self._pending_adoptions.pop(msg.payload["probe"], None)
+        if event is not None:
+            event.cancel()
+        self._cede_adoptions_to(code)
+
+    def _on_adopt_probe_dead(self, msg: Message) -> None:
+        self._adopt_now(msg.payload["probe"])
+
+    def _adopt_now(self, bits: str) -> None:
+        event = self._pending_adoptions.pop(bits, None)
+        if event is not None:
+            event.cancel()
+        if not self.in_overlay():
+            return
+        dead_code = Code(bits)
+        if self.covers(dead_code):
+            return
+        for _, code in self.neighbors.entries(alive_only=True):
+            if code.comparable(dead_code):
                 return
         self.takeovers += 1
         self.adopted.add(dead_code)
         self._announce_code()
         self.on_code_changed(self.code, self.code)
+
+    def _cede_adoptions_to(self, code: Code) -> None:
+        """A live peer claims ``code``: any adopted region it covers is a
+        stale fallback adoption (ours is dataless; a takeover holds the
+        region's replicas), so cede it and drop pending probes for it.
+        Only primary codes are announced, so another fallback adopter can
+        never trigger this — just real owners after a takeover."""
+        stale = {region for region in self.adopted if code.comparable(region)}
+        if stale:
+            self.adopted -= stale
+        for bits in [b for b in self._pending_adoptions if code.comparable(Code(b))]:
+            self._pending_adoptions.pop(bits).cancel()
 
     def _announce_code(self) -> None:
         update = {"address": self.address, "code": self.code.bits}

@@ -17,7 +17,7 @@ expanding-ring recovery implemented in :mod:`repro.overlay.node`.
 """
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.overlay.code import Code
 
@@ -40,12 +40,16 @@ def next_hop(
     target: Code,
     links: Iterable[Tuple[str, Code]],
     exclude: Iterable[str] = (),
+    visited: Iterable[str] = (),
 ) -> RouteDecision:
     """Decide the next routing step toward ``target``.
 
     ``links`` is the node's live hypercube link set (address, code) pairs;
     ``exclude`` lists addresses already known to be unreachable for this
-    message (greedy retries after a send failure).
+    message (greedy retries after a send failure).  ``visited`` lists
+    addresses already on the message's path: they are deprioritized — but
+    not forbidden — so recovery transients and retried attempts do not
+    ping-pong between the same pair of stale-coded nodes.
     """
     if my_code.comparable(target):
         return RouteDecision(arrived=True)
@@ -53,17 +57,22 @@ def next_hop(
     diff = my_code.first_diff(target)
     required = target.prefix(diff + 1)
     excluded = set(exclude)
-    best_addr: Optional[str] = None
-    best_code: Optional[Code] = None
-    best_len = -1
+    visited_set = set(visited)
+    best: Dict[bool, Tuple[Optional[str], Optional[Code], int]] = {
+        True: (None, None, -1),   # fresh (unvisited) candidates
+        False: (None, None, -1),  # already-visited fallbacks
+    }
     for addr, code in links:
         if addr in excluded:
             continue
         if not code.comparable(required) and code.common_prefix_len(target) <= my_code.common_prefix_len(target):
             continue
         cpl = code.common_prefix_len(target)
-        if cpl > best_len or (cpl == best_len and best_code is not None and code < best_code):
-            best_addr, best_code, best_len = addr, code, cpl
+        bucket = addr not in visited_set
+        _, held_code, held_len = best[bucket]
+        if cpl > held_len or (cpl == held_len and held_code is not None and code < held_code):
+            best[bucket] = (addr, code, cpl)
+    best_addr, best_code, _ = best[True] if best[True][0] is not None else best[False]
     if best_addr is None:
         return RouteDecision(arrived=False, next_hop=None)
     return RouteDecision(arrived=False, next_hop=best_addr, next_code=best_code)

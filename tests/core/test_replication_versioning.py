@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.cuts import EvenCuts
 from repro.core.embedding import Embedding
-from repro.core.replication import FULL_REPLICATION, replica_targets
+from repro.core.replication import FULL_REPLICATION, failover_targets, replica_targets
 from repro.core.schema import AttributeSpec, IndexSchema
 from repro.core.versioning import VersionedEmbedding
 from repro.overlay.code import Code
@@ -40,6 +40,32 @@ def test_negative_level_rejected():
 
 def test_root_code_has_no_replicas():
     assert replica_targets(Code(""), FULL_REPLICATION) == []
+
+
+# ---------------------------------------------------------------------------
+# Failover targets (the originator's retry list after a dead primary)
+# ---------------------------------------------------------------------------
+
+def test_failover_targets_match_replica_placement():
+    # For a code at owner depth, failover targets ARE the replica targets.
+    code = Code("000000")
+    assert failover_targets(code, 3, len(code)) == replica_targets(code, 3)
+
+
+def test_failover_targets_truncate_to_owner_depth():
+    # A full-resolution data code routed at a depth-4 owner fails over to
+    # the flips of the owner's code, not of the data code's deep bits.
+    targets = failover_targets(Code("010110"), 1, 4)
+    assert [t.bits for t in targets] == ["010010"]
+
+
+def test_failover_targets_level_zero_empty():
+    assert failover_targets(Code("0101"), 0, 4) == []
+
+
+def test_failover_targets_full_replication():
+    targets = failover_targets(Code("0101"), FULL_REPLICATION, 4)
+    assert len(targets) == 4
 
 
 # ---------------------------------------------------------------------------
@@ -107,3 +133,35 @@ def test_wire_round_trip():
     clone = VersionedEmbedding.from_wire(v.to_wire())
     assert len(clone.versions) == 2
     assert clone.version_index_for_time(90000.0) == 1
+
+
+def test_from_wire_rejects_duplicate_valid_from():
+    v = VersionedEmbedding(_embedding())
+    wire = v.to_wire()
+    wire.append(dict(wire[0]))  # same valid_from twice
+    with pytest.raises(ValueError):
+        VersionedEmbedding.from_wire(wire)
+
+
+def test_wire_version_references_survive_retirement():
+    # Wire references are keyed by valid_from, so they resolve identically
+    # on nodes whose *positions* diverged after retire_before().
+    v = VersionedEmbedding(_embedding())
+    target = _embedding()
+    v.install(100.0, _embedding())
+    v.install(200.0, target)
+    key = v.valid_from_for_time(250.0)
+    assert v.embedding_for_version(key) is target
+    v.retire_before(150.0)  # drops a leading version; positions shift
+    assert v.embedding_for_version(key) is target
+
+
+def test_retired_version_reference_falls_back_to_time():
+    v = VersionedEmbedding(_embedding())
+    old = _embedding()
+    v.install(100.0, old)
+    v.install(200.0, _embedding())
+    v.retire_before(250.0)
+    # A peer may still reference the retired 100.0 version; the closest
+    # surviving approximation is the version in force at that time.
+    assert v.embedding_for_version(100.0) is v.for_time(100.0)

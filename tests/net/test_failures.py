@@ -71,6 +71,38 @@ def test_churn_min_live_validation():
         inj.start_churn(["a"], 1.0, 1.0, min_live=0)
 
 
+def test_start_churn_idempotent_and_stop_cancels():
+    sim, net = setup()
+    inj = FailureInjector(sim, net)
+    nodes = ["a", "b", "c", "d"]
+    inj.start_churn(nodes, mean_uptime_s=1.0, mean_downtime_s=0.5, min_live=1)
+    # A second start replaces the running process instead of stacking a
+    # second (uncancellable) tick loop on top of it.
+    inj.start_churn(nodes, mean_uptime_s=1.0, mean_downtime_s=0.5, min_live=1)
+    assert inj.churn_active
+    sim.run_until(30.0)
+    assert any(kind == "crash" for _, _, kind in inj.crash_log)
+    inj.stop_churn()
+    assert not inj.churn_active
+    stop_time = sim.now
+    sim.run_until(stop_time + 60.0)
+    # One stop_churn silences both start calls: no crashes after the stop...
+    assert not any(
+        kind == "crash" and t > stop_time for t, _, kind in inj.crash_log
+    )
+    # ...but nodes already down still get their scheduled restores.
+    assert all(net.is_node_up(n) for n in nodes)
+
+
+def test_stop_churn_without_start_is_noop():
+    sim, net = setup()
+    inj = FailureInjector(sim, net)
+    inj.stop_churn()
+    assert not inj.churn_active
+    sim.run_until(10.0)
+    assert inj.crash_log == []
+
+
 def test_crash_log():
     sim, net = setup()
     inj = FailureInjector(sim, net)

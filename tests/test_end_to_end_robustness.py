@@ -8,6 +8,7 @@ cluster for controlled failures), records inserted at replication levels
 import pytest
 
 from repro.core.cluster import ClusterConfig, MindCluster
+from repro.core.mind_node import MindConfig
 from repro.core.query import RangeQuery
 from repro.core.records import Record
 from repro.core.replication import FULL_REPLICATION
@@ -88,3 +89,76 @@ def test_replication_strictly_helps():
     heavy_none = run_scenario(replication=0, kill_count=6)
     heavy_full = run_scenario(replication=FULL_REPLICATION, kill_count=6)
     assert heavy_full >= heavy_none
+
+
+# ---------------------------------------------------------------------------
+# Stationary churn (the full Figure-16 shape, via the cluster harness)
+# ---------------------------------------------------------------------------
+
+def run_churn(replication: int, seed: int = 17, nodes: int = 16):
+    overlay = OverlayConfig(
+        liveness_enabled=True, hb_interval_s=2.0, hb_timeout_s=7.0, adoption_delay_s=2.0
+    )
+    mind = MindConfig(
+        subquery_attempt_timeout_s=6.0,
+        insert_attempt_timeout_s=6.0,
+        retry_backoff_base_s=0.25,
+        retry_backoff_max_s=2.0,
+    )
+    config = ClusterConfig(
+        seed=seed, overlay=overlay, mind=mind, track_ground_truth=True, slow_node_fraction=0.0
+    )
+    cluster = MindCluster(nodes, config)
+    cluster.build()
+    schema = IndexSchema(
+        "r",
+        attributes=[
+            AttributeSpec("x", 0.0, 1000.0),
+            AttributeSpec("timestamp", 0.0, 86400.0, is_time=True),
+            AttributeSpec("v", 0.0, 100.0),
+        ],
+    )
+    cluster.create_index(schema, replication=replication)
+    rng = cluster.sim.rng("test.churn.records")
+    records = [
+        Record([rng.uniform(0, 1000), rng.uniform(0, 86400), rng.uniform(0, 100)])
+        for _ in range(150)
+    ]
+    strips = [RangeQuery("r", {"x": (float(lo), float(lo + 125))}) for lo in range(0, 1000, 125)]
+    queries = strips * 2  # two sweeps, so queries overlap the failures
+    return cluster.run_churn_experiment(
+        "r",
+        records,
+        queries,
+        mean_uptime_s=45.0,
+        mean_downtime_s=50.0,
+        max_concurrent_failures=1,
+        query_spacing_s=8.0,
+        settle_s=25.0,
+        query_timeout_s=240.0,
+    )
+
+
+@pytest.mark.slow
+def test_churn_with_replication_completes_every_query():
+    summary = run_churn(replication=1)
+    assert summary["inserts_failed"] == 0
+    assert summary["crashes"] >= 1  # churn actually fired
+    assert summary["complete_fraction"] == 1.0
+    assert summary["failed_regions"] == {}
+    assert summary["full_recall_fraction"] == 1.0
+
+
+@pytest.mark.slow
+def test_churn_without_replication_degrades_explicitly():
+    summary = run_churn(replication=0)
+    assert summary["crashes"] >= 1
+    # Data lost with the dead primaries must surface explicitly: either as
+    # reported missing regions or as measurably incomplete recall — never
+    # as a silently "complete" result set.
+    assert (
+        summary["complete_fraction"] < 1.0
+        or summary["full_recall_fraction"] < summary["complete_fraction"]
+    )
+    incomplete = summary["queries"] - summary["complete_queries"]
+    assert len(summary["failed_regions"]) == incomplete
