@@ -1,0 +1,27 @@
+"""repro-lint: static analysis over the repo's own AST.
+
+Two linters guard the invariants the paper's protocols rest on:
+
+* the **protocol linter** (:mod:`repro.analysis.protocol_lint`)
+  cross-checks every send site and handler registration in the code
+  against the wire-protocol registry in :mod:`repro.net.protocol` —
+  unknown kinds, kinds nobody handles, handlers nobody sends to, and
+  payload keys that drifted from their declaration are all analysis-time
+  errors;
+* the **determinism linter** (:mod:`repro.analysis.determinism_lint`)
+  forbids ambient randomness and wall-clock time in the simulated
+  subsystems — every draw must come from the seeded streams of
+  :mod:`repro.sim.randomness` and every timestamp from the sim clock, so
+  a single master seed reproduces an entire experiment.
+
+Run it as ``python -m repro.analysis [paths...]`` or through the tier-1
+pytest gate in ``tests/test_analysis.py``.  Individual findings can be
+suppressed with a ``# repro-lint: ignore[rule]`` comment on (or above)
+the offending line; repo-wide accepted findings live, with justification,
+in :mod:`repro.analysis.baseline`.
+"""
+
+from repro.analysis.findings import Finding, RULES
+from repro.analysis.runner import analyze_paths, main
+
+__all__ = ["Finding", "RULES", "analyze_paths", "main"]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import sys
+
+from repro.analysis.runner import main
+
+sys.exit(main())

@@ -1,0 +1,79 @@
+"""Finding records and the rule catalog."""
+
+from dataclasses import dataclass, field
+
+#: Rule id -> one-line description.  The ids double as suppression tags:
+#: ``# repro-lint: ignore[det-set-iteration]``.
+RULES = {
+    "protocol-unknown-kind": (
+        "a send site uses a message kind that is not declared in "
+        "repro.net.protocol (typo'd kinds diverge peers silently)"
+    ),
+    "protocol-unhandled-kind": (
+        "a message kind is sent but no handler for it is registered "
+        "anywhere in the analyzed code"
+    ),
+    "protocol-unsent-kind": (
+        "a handler is registered for a kind that nothing ever sends "
+        "(dead protocol surface)"
+    ),
+    "protocol-unregistered-handler": (
+        "a handler is registered for a kind missing from the registry"
+    ),
+    "protocol-dead-kind": (
+        "a registry entry is neither sent nor handled anywhere"
+    ),
+    "protocol-undeclared-key": (
+        "a handler reads a payload key the kind's declaration does not "
+        "list as required or optional"
+    ),
+    "protocol-extra-send-key": (
+        "a send site's payload literal carries a key the kind's "
+        "declaration does not list"
+    ),
+    "protocol-missing-send-key": (
+        "a send site's payload literal omits a key the kind's "
+        "declaration requires"
+    ),
+    "det-global-random": (
+        "call into the process-global random module; draw from a named "
+        "stream via sim.rng(...) / repro.sim.randomness instead"
+    ),
+    "det-wall-clock": (
+        "wall-clock time (time.time, datetime.now, ...); use the "
+        "simulation clock (sim.now) instead"
+    ),
+    "det-os-entropy": (
+        "OS entropy (os.urandom, uuid.uuid4, secrets); derive ids from "
+        "seeded streams or counters instead"
+    ),
+    "det-numpy-global-rng": (
+        "numpy's process-global RNG; use a seeded numpy Generator or a "
+        "named random stream instead"
+    ),
+    "det-set-iteration": (
+        "iteration over a set, whose order depends on PYTHONHASHSEED; "
+        "wrap in sorted(...) or iterate a deterministic container"
+    ),
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One analyzer finding, sortable into (path, line, rule) order."""
+
+    path: str  #: path relative to the analysis root, POSIX separators
+    line: int
+    rule: str
+    message: str
+    #: Stable anchor for baseline matching: enclosing function (or
+    #: ``<module>``) plus a short detail, e.g. ``links:self.adopted``.
+    #: Line numbers churn with unrelated edits; context keys do not.
+    context: str = field(default="", compare=False)
+
+    @property
+    def key(self) -> str:
+        return f"{self.rule}:{self.path}:{self.context}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"

@@ -1,0 +1,182 @@
+"""File discovery, scope rules, and the ``python -m repro.analysis`` CLI."""
+
+import argparse
+import ast
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.determinism_lint import collect_set_attrs, lint_determinism
+from repro.analysis.findings import RULES, Finding
+from repro.analysis.protocol_lint import collect_module, lint_protocol
+from repro.analysis.suppressions import (
+    inline_ignores,
+    is_inline_suppressed,
+    split_baselined,
+)
+from repro.net import protocol
+
+#: repro subpackages whose code must be deterministic.  ``analysis`` and
+#: ``experiments`` are excluded: they run outside the simulation (the
+#: linter itself, plotting/driver scripts) and may touch the wall clock.
+DETERMINISM_SCOPE = ("overlay", "core", "net", "sim", "baselines")
+
+#: files inside the scope that are allowed ambient-randomness primitives —
+#: the seeded-stream registry itself wraps ``random.Random``.
+DETERMINISM_EXEMPT = ("repro/sim/randomness.py",)
+
+
+@dataclass
+class AnalysisResult:
+    """Findings partitioned by disposition."""
+
+    active: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    accepted: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+
+def _posix(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def _rel(path: str) -> str:
+    """Path as reported in findings: cwd-relative when possible.
+
+    Keys in the baseline embed this string, so it must not depend on
+    where the repo is checked out — cwd-relative achieves that for the
+    normal ``python -m repro.analysis`` invocation from the repo root.
+    """
+    rel = os.path.relpath(path)
+    return _posix(path if rel.startswith("..") else rel)
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            files.append(path)
+    return files
+
+
+def _in_determinism_scope(rel_path: str) -> bool:
+    if any(rel_path.endswith(exempt) for exempt in DETERMINISM_EXEMPT):
+        return False
+    marker = "repro/"
+    idx = rel_path.rfind(marker)
+    if idx < 0:
+        # not part of the repro package (e.g. test fixtures): lint it —
+        # fixtures exist precisely to exercise the determinism rules.
+        return True
+    remainder = rel_path[idx + len(marker):]
+    return remainder.split("/", 1)[0] in DETERMINISM_SCOPE
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    registry: Optional[Dict[str, protocol.MessageKind]] = None,
+    routed: Optional[Dict[str, protocol.MessageKind]] = None,
+    check_coverage: bool = True,
+    baseline: Optional[Sequence[Dict[str, str]]] = None,
+) -> AnalysisResult:
+    """Run both linters over ``paths`` (files or directories).
+
+    ``registry``/``routed`` default to the live wire registry; tests pass
+    miniature registries to pin down individual rules.  ``check_coverage``
+    gates the whole-protocol checks (unhandled / unsent / dead kinds),
+    which only make sense when the analyzed set covers every sender and
+    handler — leave it off when linting a single file.
+    """
+    registry = protocol.REGISTRY if registry is None else registry
+    routed = protocol.ROUTED if routed is None else routed
+    baseline = baseline_mod.BASELINE if baseline is None else baseline
+
+    sources: List[Tuple[str, str, ast.Module]] = []
+    for filename in discover_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=filename)
+        sources.append((_rel(filename), source, tree))
+
+    modules = [collect_module(rel_path, tree) for rel_path, _, tree in sources]
+    findings = lint_protocol(modules, registry, routed, check_coverage=check_coverage)
+
+    set_attrs = collect_set_attrs(tree for _, _, tree in sources)
+    for rel_path, _, tree in sources:
+        if _in_determinism_scope(rel_path):
+            findings.extend(lint_determinism(rel_path, tree, set_attrs))
+
+    ignores_by_path = {rel_path: inline_ignores(source) for rel_path, source, _ in sources}
+    result = AnalysisResult()
+    unsuppressed: List[Finding] = []
+    for finding in sorted(findings):
+        if is_inline_suppressed(finding, ignores_by_path.get(finding.path, {})):
+            result.suppressed.append(finding)
+        else:
+            unsuppressed.append(finding)
+    result.active, result.accepted = split_baselined(unsuppressed, baseline)
+    return result
+
+
+def _default_paths() -> List[str]:
+    import repro
+
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: protocol & determinism static analysis",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--no-coverage", action="store_true",
+        help="skip whole-protocol coverage checks (unhandled/unsent/dead "
+        "kinds); use when analyzing a subset of the code",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}: {RULES[rule]}")
+        return 0
+
+    paths = list(args.paths) or _default_paths()
+    result = analyze_paths(paths, check_coverage=not args.no_coverage)
+
+    for finding in result.active:
+        print(finding.render())
+    tail = (
+        f"{len(result.active)} finding(s), "
+        f"{len(result.suppressed)} suppressed inline, "
+        f"{len(result.accepted)} accepted by baseline"
+    )
+    if result.active:
+        print(f"repro-lint: FAIL — {tail}", file=sys.stderr)
+        return 1
+    print(f"repro-lint: OK — {tail}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

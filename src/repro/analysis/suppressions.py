@@ -1,0 +1,55 @@
+"""Inline suppressions and the checked-in baseline.
+
+Two escape hatches, both explicit and reviewable:
+
+* an inline comment ``# repro-lint: ignore[rule-a,rule-b] reason`` on the
+  flagged line (or on the line directly above it) suppresses those rules
+  at that site; ``ignore[*]`` suppresses every rule;
+* :data:`repro.analysis.baseline.BASELINE` lists accepted findings by
+  their stable ``rule:path:context`` key, each with a written
+  justification — for sites where an inline comment would be awkward
+  (e.g. generated or idiom-critical lines).
+
+Anything not covered by either mechanism is a hard failure of the
+analysis gate.
+"""
+
+import re
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+_IGNORE_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]+)\]")
+
+
+def inline_ignores(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> rule ids suppressed on that line."""
+    ignores: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            if rules:
+                ignores[lineno] = rules
+    return ignores
+
+
+def is_inline_suppressed(finding: Finding, ignores: Dict[int, Set[str]]) -> bool:
+    """True if an ignore comment on the line (or the line above) covers it."""
+    for lineno in (finding.line, finding.line - 1):
+        rules = ignores.get(lineno)
+        if rules and (finding.rule in rules or "*" in rules):
+            return True
+    return False
+
+
+def split_baselined(
+    findings: Iterable[Finding], baseline: Sequence[Dict[str, str]]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (active, accepted-by-baseline)."""
+    accepted_keys = {entry["key"] for entry in baseline}
+    active: List[Finding] = []
+    accepted: List[Finding] = []
+    for finding in findings:
+        (accepted if finding.key in accepted_keys else active).append(finding)
+    return active, accepted

@@ -882,7 +882,7 @@ class MindNode(OverlayNode):
         if op.pending:
             # Report exactly which regions never answered, by their primary
             # identity, so a degraded result names what is missing.
-            for key in op.pending:
+            for key in sorted(op.pending):
                 region = op.regions.get(key)
                 if region is None:
                     op.failed_regions.add(key)
@@ -1156,7 +1156,7 @@ class MindNode(OverlayNode):
         candidates = []
         if self.code is not None and self.code.comparable(region):
             candidates.append(self.code)
-        for adopted in self.adopted:
+        for adopted in sorted(self.adopted):
             if adopted.comparable(region):
                 candidates.append(adopted)
         if not candidates:

@@ -15,6 +15,7 @@ from repro.net.failures import FailureInjector
 from repro.net.latency import LatencyModel, great_circle_km
 from repro.net.message import Message
 from repro.net.network import LinkStats, SimNetwork
+from repro.net.protocol import REGISTRY, ROUTED, MessageKind, ProtocolError
 from repro.net.topology import (
     ABILENE_SITES,
     GEANT_SITES,
@@ -30,6 +31,10 @@ __all__ = [
     "LatencyModel",
     "LinkStats",
     "Message",
+    "MessageKind",
+    "ProtocolError",
+    "REGISTRY",
+    "ROUTED",
     "SimNetwork",
     "Site",
     "backbone_sites",

@@ -5,11 +5,23 @@ string dispatches to a handler at the receiving node; ``payload`` carries
 arbitrary structured data (kept as plain Python objects — the simulation
 never serializes, but ``size_bytes`` models what serialization would cost
 on the wire).
+
+``size_bytes`` is the *body* size exactly as the sender passed it; the
+modeled on-the-wire cost including framing headers is :attr:`Message.wire_size`.
+Keeping the field immutable means re-framing or copying a message (e.g.
+``dataclasses.replace``) can never double-count :data:`HEADER_BYTES`.
+
+When protocol validation is enabled (see :mod:`repro.net.protocol`),
+construction checks ``kind`` and the payload's key set against the wire
+registry, so a typo'd kind or a drifted payload shape fails at the send
+site instead of diverging silently between peers.
 """
 
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict
+
+from repro.net import protocol
 
 _MESSAGE_IDS = itertools.count(1)
 
@@ -26,11 +38,12 @@ class Message:
     src, dst:
         Network addresses (opaque strings) of the endpoints.
     kind:
-        Handler-dispatch tag, e.g. ``"insert"`` or ``"join_request"``.
+        Handler-dispatch tag, e.g. ``"insert_ack"`` or ``"join_request"``.
     payload:
         Structured message body.
     size_bytes:
-        Modeled wire size, used for bandwidth serialization on links.
+        Modeled body size as passed by the sender; see :attr:`wire_size`
+        for the framed on-the-wire size used in bandwidth serialization.
     msg_id:
         Unique id, handy for tracing and matching requests to replies.
     """
@@ -45,4 +58,10 @@ class Message:
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
             raise ValueError("size_bytes must be non-negative")
-        self.size_bytes += HEADER_BYTES
+        if protocol.validation_enabled():
+            protocol.validate_wire(self.kind, self.payload)
+
+    @property
+    def wire_size(self) -> int:
+        """Framed size on the wire: body plus :data:`HEADER_BYTES`."""
+        return self.size_bytes + HEADER_BYTES

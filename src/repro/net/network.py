@@ -185,7 +185,7 @@ class SimNetwork:
 
         key = (src, dst)
         now = self.sim.now
-        transmission = msg.size_bytes * 8.0 / self.bandwidth_bps
+        transmission = msg.wire_size * 8.0 / self.bandwidth_bps
         start = max(now, self._link_busy_until.get(key, 0.0))
         self._link_busy_until[key] = start + transmission
         latency = self._one_way(src, dst)
@@ -196,7 +196,7 @@ class SimNetwork:
             stats = LinkStats()
             self.link_stats[key] = stats
         stats.messages += 1
-        stats.bytes += msg.size_bytes
+        stats.bytes += msg.wire_size
         stats.tuples += tuples
         if self.record_link_delays:
             stats.record_delay(now, delivery_time - now, self.link_delay_sample_cap)

@@ -239,7 +239,7 @@ class OverlayNode:
         if self.code is None:
             return []
         seen: Dict[str, Code] = dict(self.neighbors.hypercube_neighbors(self.code, alive_only))
-        for region in self.adopted:
+        for region in sorted(self.adopted):
             for addr, code in self.neighbors.hypercube_neighbors(region, alive_only):
                 seen[addr] = code
         seen.pop(self.address, None)
@@ -258,7 +258,7 @@ class OverlayNode:
         if self.code is None:
             return -1
         best = self.code.common_prefix_len(target)
-        for region in self.adopted:
+        for region in sorted(self.adopted):
             best = max(best, region.common_prefix_len(target))
         return best
 
@@ -442,7 +442,7 @@ class OverlayNode:
         self._host_join = None
         if state.timeout_event is not None:
             state.timeout_event.cancel()
-        for addr in state.awaiting_acks | state.acked:
+        for addr in sorted(state.awaiting_acks | state.acked):
             self._send(addr, "split_abort", {"host": self.address, "round": state.round_id})
         self._send(state.joiner, "join_reject", {"reason": reason})
 

@@ -1,0 +1,21 @@
+"""Suite-wide fixtures.
+
+The whole test suite runs with wire-protocol validation ON: every
+:class:`~repro.net.message.Message` constructed anywhere — cluster
+integration tests, churn runs, baselines — is checked against the
+registry in :mod:`repro.net.protocol`, so payload drift fails loudly.
+Unit tests that deliberately send ad-hoc kinds opt out locally with
+``protocol.validation(False)``.
+"""
+
+import pytest
+
+from repro.net import protocol
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _wire_validation():
+    previous = protocol.validation_enabled()
+    protocol.set_validation(True)
+    yield
+    protocol.set_validation(previous)

@@ -1,11 +1,22 @@
 """Unit tests for the simulated network layer."""
 
+import dataclasses
+
 import pytest
 
+from repro.net import protocol
 from repro.net.message import HEADER_BYTES, Message
 from repro.net.network import SimNetwork
 from repro.net.topology import Site
 from repro.sim.kernel import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _adhoc_kinds():
+    # These unit tests exercise the transport with ad-hoc message kinds
+    # ("ping", "x", ...) that are deliberately not part of the registry.
+    with protocol.validation(False):
+        yield
 
 
 def make_net(sites=None, **kwargs):
@@ -15,7 +26,15 @@ def make_net(sites=None, **kwargs):
 
 def test_message_header_overhead():
     msg = Message("a", "b", "k", size_bytes=100)
-    assert msg.size_bytes == 100 + HEADER_BYTES
+    assert msg.size_bytes == 100
+    assert msg.wire_size == 100 + HEADER_BYTES
+
+
+def test_reframed_message_does_not_double_count_header():
+    msg = Message("a", "b", "k", size_bytes=100)
+    copy = dataclasses.replace(msg)
+    assert copy.size_bytes == 100
+    assert copy.wire_size == msg.wire_size == 100 + HEADER_BYTES
 
 
 def test_message_negative_size_rejected():

@@ -1,0 +1,80 @@
+"""Unit tests for the wire-protocol registry and debug-mode validation."""
+
+import pytest
+
+from repro.net import protocol
+from repro.net.message import Message
+from repro.net.protocol import ProtocolError, validate_wire
+
+
+def test_registry_covers_every_layer():
+    layers = {decl.layer for decl in protocol.REGISTRY.values()}
+    assert layers == {"overlay", "mind", "baseline"}
+    assert all(decl.layer == "routed" for decl in protocol.ROUTED.values())
+
+
+def test_registered_kind_with_exact_payload_passes():
+    validate_wire("heartbeat", {"code": "010"})
+    validate_wire("insert_ack", {"op_id": "a:1", "hops": 3})
+
+
+def test_optional_keys_are_accepted_but_not_required():
+    validate_wire("op_failed", {"kind": "insert", "op_id": "a:1"})
+    validate_wire(
+        "op_failed",
+        {"kind": "subquery", "op_id": "a:1", "version": 0.0, "region_bits": "01", "attempt": 2},
+    )
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ProtocolError, match="unregistered message kind"):
+        validate_wire("heartbeet", {"code": "010"})
+
+
+def test_missing_required_key_rejected():
+    with pytest.raises(ProtocolError, match="missing required"):
+        validate_wire("heartbeat", {})
+
+
+def test_undeclared_key_rejected():
+    with pytest.raises(ProtocolError, match="undeclared"):
+        validate_wire("heartbeat", {"code": "010", "cod": "typo"})
+
+
+def test_route_envelope_checks_inner_kind():
+    envelope = {
+        "target": "01",
+        "inner_kind": "adopt_probe",
+        "inner": {"claimant": "a", "probe": "01"},
+        "op_id": 1,
+        "origin": "a",
+        "hops": 0,
+        "path": ["a"],
+        "exclude": [],
+        "attempt": 1,
+        "tuples": 0,
+    }
+    validate_wire("route", envelope)
+    envelope["inner_kind"] = "adopt_prob"
+    with pytest.raises(ProtocolError, match="unregistered routed kind"):
+        validate_wire("route", envelope)
+    envelope["inner_kind"] = "adopt_probe"
+    envelope["inner"] = {"claimant": "a"}
+    with pytest.raises(ProtocolError, match="missing required"):
+        validate_wire("route", envelope)
+
+
+def test_message_construction_validates_when_enabled():
+    with protocol.validation(True):
+        Message("a", "b", "heartbeat", {"code": "0"})
+        with pytest.raises(ProtocolError):
+            Message("a", "b", "heartbeat", {"cod": "0"})
+    with protocol.validation(False):
+        Message("a", "b", "totally-made-up", {"whatever": 1})
+
+
+def test_validation_toggle_restores_previous_state():
+    before = protocol.validation_enabled()
+    with protocol.validation(not before):
+        assert protocol.validation_enabled() is not before
+    assert protocol.validation_enabled() is before

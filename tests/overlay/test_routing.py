@@ -2,11 +2,22 @@
 
 from typing import Any, Dict, List
 
+import pytest
+
+from repro.net import protocol
 from repro.overlay.code import Code
 from repro.overlay.node import OverlayConfig, OverlayNode
 from repro.overlay.routing import next_hop
 
 from tests.helpers import build_overlay
+
+
+@pytest.fixture(autouse=True)
+def _adhoc_routed_kinds():
+    # These tests route a synthetic "probe" inner kind to exercise the
+    # overlay routing machinery in isolation from the application protocol.
+    with protocol.validation(False):
+        yield
 
 
 class RecordingNode(OverlayNode):

@@ -1,0 +1,409 @@
+"""repro-lint rule tests: each rule fires on its fixture, and only there.
+
+Fixtures are tiny modules written to ``tmp_path`` and analyzed against
+miniature registries, so each test pins down one rule with an exact line
+number.  The final test is the tier-1 gate itself: the real tree must be
+lint-clean outside the documented baseline.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, analyze_paths
+from repro.analysis.findings import Finding
+from repro.analysis.runner import main
+from repro.analysis.suppressions import inline_ignores, is_inline_suppressed
+from repro.net.protocol import MessageKind
+
+pytestmark = pytest.mark.lint
+
+REPRO_PKG = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def kind(name, required=(), optional=(), layer="overlay"):
+    return MessageKind(
+        name=name,
+        layer=layer,
+        required=frozenset(required),
+        optional=frozenset(optional),
+        doc="fixture",
+    )
+
+
+def write_fixture(tmp_path, source):
+    path = tmp_path / "fixture_mod.py"
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def line_of(path, needle):
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"{needle!r} not found in fixture")
+
+
+def analyze_fixture(path, registry, routed=None, check_coverage=False):
+    return analyze_paths(
+        [str(path)],
+        registry=registry,
+        routed=routed if routed is not None else {},
+        check_coverage=check_coverage,
+        baseline=[],
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocol rules
+# ----------------------------------------------------------------------
+def test_typoed_kind_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def poke(self, dst):
+                self._send(dst, "pnig", {"seq": 1})
+        """,
+    )
+    result = analyze_fixture(path, {"ping": kind("ping", required=["seq"])})
+    assert len(result.active) == 1
+    finding = result.active[0]
+    assert finding.rule == "protocol-unknown-kind"
+    assert finding.line == line_of(path, '"pnig"')
+    assert "pnig" in finding.message
+
+
+def test_unhandled_kind_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"pong": self._on_pong}
+
+            def poke(self, dst):
+                self._send(dst, "ping", {"seq": 1})
+                self._send(dst, "pong", {"seq": 2})
+
+            def _on_pong(self, msg):
+                return msg.payload["seq"]
+        """,
+    )
+    registry = {
+        "ping": kind("ping", required=["seq"]),
+        "pong": kind("pong", required=["seq"]),
+    }
+    result = analyze_fixture(path, registry, check_coverage=True)
+    assert len(result.active) == 1
+    finding = result.active[0]
+    assert finding.rule == "protocol-unhandled-kind"
+    assert finding.line == line_of(path, '"ping", {"seq": 1}')
+    assert "'ping'" in finding.message
+
+
+def test_unsent_and_dead_kinds_are_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"pong": self._on_pong}
+
+            def _on_pong(self, msg):
+                return msg.payload["seq"]
+        """,
+    )
+    registry = {
+        "pong": kind("pong", required=["seq"]),
+        "ghost": kind("ghost"),
+    }
+    result = analyze_fixture(path, registry, check_coverage=True)
+    rules = sorted(f.rule for f in result.active)
+    assert rules == ["protocol-dead-kind", "protocol-unsent-kind"]
+
+
+def test_undeclared_payload_key_read_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"ping": self._on_ping}
+
+            def _on_ping(self, msg):
+                payload = msg.payload
+                return payload["nope"]
+        """,
+    )
+    result = analyze_fixture(
+        path, {"ping": kind("ping", required=["seq"], optional=["hops"])}
+    )
+    assert len(result.active) == 1
+    finding = result.active[0]
+    assert finding.rule == "protocol-undeclared-key"
+    assert finding.line == line_of(path, 'payload["nope"]')
+    assert "'nope'" in finding.message
+
+
+def test_send_payload_literal_keys_are_checked(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def poke(self, dst):
+                self._send(dst, "ping", {"seq": 1, "bogus": 2})
+
+            def prod(self, dst):
+                self._send(dst, "ping", {})
+        """,
+    )
+    result = analyze_fixture(path, {"ping": kind("ping", required=["seq"])})
+    by_rule = {f.rule: f for f in result.active}
+    assert set(by_rule) == {"protocol-extra-send-key", "protocol-missing-send-key"}
+    assert by_rule["protocol-extra-send-key"].line == line_of(path, '"bogus"')
+    assert "['bogus']" in by_rule["protocol-extra-send-key"].message
+    assert "['seq']" in by_rule["protocol-missing-send-key"].message
+
+
+def test_unregistered_handler_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        def install(node):
+            node.handlers["mystery"] = lambda msg: None
+        """,
+    )
+    result = analyze_fixture(path, {})
+    assert len(result.active) == 1
+    assert result.active[0].rule == "protocol-unregistered-handler"
+
+
+def test_routed_inner_kind_reads_are_branch_aware(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def on_route_arrival(self, envelope):
+                inner_kind = envelope["inner_kind"]
+                if inner_kind == "insert":
+                    self._arrive_insert(envelope)
+
+            def _arrive_insert(self, envelope):
+                inner = envelope["inner"]
+                good = inner["tuple"]
+                bad = inner["qid"]
+                return good, bad
+        """,
+    )
+    routed = {"insert": kind("insert", required=["tuple"], layer="routed")}
+    result = analyze_fixture(path, {}, routed=routed)
+    assert len(result.active) == 1
+    finding = result.active[0]
+    assert finding.rule == "protocol-undeclared-key"
+    assert finding.line == line_of(path, 'inner["qid"]')
+
+
+# ----------------------------------------------------------------------
+# Determinism rules
+# ----------------------------------------------------------------------
+def test_wall_clock_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    result = analyze_fixture(path, {})
+    assert len(result.active) == 1
+    finding = result.active[0]
+    assert finding.rule == "det-wall-clock"
+    assert finding.line == line_of(path, "time.time()")
+
+
+def test_global_random_is_flagged_but_seeded_random_is_not(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        import random
+
+        def draw():
+            return random.random()
+
+        def make_stream(seed):
+            return random.Random(seed)
+        """,
+    )
+    result = analyze_fixture(path, {})
+    assert len(result.active) == 1
+    finding = result.active[0]
+    assert finding.rule == "det-global-random"
+    assert finding.line == line_of(path, "random.random()")
+
+
+def test_os_entropy_and_numpy_global_rng_are_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        import os
+        import numpy as np
+
+        def ident():
+            return os.urandom(8)
+
+        def noise():
+            return np.random.random(4)
+
+        def seeded(seed):
+            return np.random.default_rng(seed)
+        """,
+    )
+    result = analyze_fixture(path, {})
+    rules = sorted(f.rule for f in result.active)
+    assert rules == ["det-numpy-global-rng", "det-os-entropy"]
+
+
+def test_set_iteration_is_flagged_and_sorted_is_not(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        def fan_out(peers):
+            order = []
+            members = set(peers)
+            for addr in members:
+                order.append(addr)
+            for addr in sorted(members):
+                order.append(addr)
+            return order
+        """,
+    )
+    result = analyze_fixture(path, {})
+    assert len(result.active) == 1
+    finding = result.active[0]
+    assert finding.rule == "det-set-iteration"
+    assert finding.line == line_of(path, "for addr in members:")
+
+
+def test_set_attribute_is_recognised_across_modules(tmp_path):
+    decl = tmp_path / "state_mod.py"
+    decl.write_text(
+        textwrap.dedent(
+            """
+            from typing import Set
+
+            class State:
+                def __init__(self):
+                    self.acked: Set[str] = set()
+            """
+        )
+    )
+    use = tmp_path / "use_mod.py"
+    use.write_text(
+        textwrap.dedent(
+            """
+            def report(state):
+                return [a for a in state.acked]
+            """
+        )
+    )
+    result = analyze_paths(
+        [str(decl), str(use)], registry={}, routed={}, check_coverage=False, baseline=[]
+    )
+    assert [f.rule for f in result.active] == ["det-set-iteration"]
+    assert result.active[0].path.endswith("use_mod.py")
+
+
+# ----------------------------------------------------------------------
+# Suppressions and baseline
+# ----------------------------------------------------------------------
+def test_inline_ignore_suppresses_only_named_rule(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: ignore[det-wall-clock] fixture
+
+        def stamp2():
+            return time.time()  # repro-lint: ignore[det-set-iteration] wrong rule
+        """,
+    )
+    result = analyze_fixture(path, {})
+    assert len(result.active) == 1
+    assert len(result.suppressed) == 1
+    assert result.active[0].line == line_of(path, "wrong rule")
+
+
+def test_inline_ignore_on_line_above(tmp_path):
+    source = "x = 1\n# repro-lint: ignore[*]\ny = 2\n"
+    ignores = inline_ignores(source)
+    finding = Finding(path="f.py", line=3, rule="det-wall-clock", message="m")
+    assert is_inline_suppressed(finding, ignores)
+    assert not is_inline_suppressed(
+        Finding(path="f.py", line=1, rule="det-wall-clock", message="m"), ignores
+    )
+
+
+def test_baseline_accepts_findings_by_stable_key(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    probe = analyze_fixture(path, {})
+    assert len(probe.active) == 1
+    entry = {"key": probe.active[0].key, "reason": "fixture"}
+    result = analyze_paths(
+        [str(path)], registry={}, routed={}, check_coverage=False, baseline=[entry]
+    )
+    assert result.ok
+    assert len(result.accepted) == 1
+
+
+# ----------------------------------------------------------------------
+# CLI and the tier-1 gate
+# ----------------------------------------------------------------------
+def test_cli_exit_codes(tmp_path, capsys):
+    dirty = write_fixture(
+        tmp_path,
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    assert main(["--no-coverage", str(dirty)]) == 1
+    assert "det-wall-clock" in capsys.readouterr().out
+
+    clean = tmp_path / "clean_mod.py"
+    clean.write_text("def nothing():\n    return 0\n")
+    assert main(["--no-coverage", str(clean)]) == 0
+    assert "repro-lint: OK" in capsys.readouterr().out
+
+
+def test_list_rules_prints_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out
+
+
+def test_repo_tree_is_lint_clean():
+    """The tier-1 gate: the real tree has zero findings outside the baseline.
+
+    Coverage checks are on, so this also proves every message kind sent
+    anywhere in ``src/repro`` is declared in ``repro.net.protocol`` and
+    has a handler.
+    """
+    result = analyze_paths([str(REPRO_PKG)], check_coverage=True)
+    assert result.ok, "\n".join(f.render() for f in result.active)
