@@ -17,6 +17,7 @@ from repro.core.embedding import Embedding
 from repro.core.query import RangeQuery
 from repro.core.records import Record
 from repro.core.schema import AttributeSpec, IndexSchema
+from repro.net.message import ISOLATE_COPY, ISOLATE_FREEZE, ISOLATE_OFF, Message
 from repro.storage.memtable import TimePartitionedStore
 
 DAY_S = 86400.0
@@ -216,6 +217,47 @@ def bench_fig9_workload(records: List[Record], queries: List[RangeQuery]) -> Dic
         queries=len(queries),
         hits=vector_hits,
     )
+
+
+def bench_isolation_overhead(records: List[Record], n_messages: int = 2000) -> Dict:
+    """One-shot cost of the message-isolation sanitizer per delivery.
+
+    Times :meth:`~repro.net.message.Message.clone` on a representative
+    record-carrying payload (a ``query_response`` with a batch of wire
+    records) at each isolation level.  This is *not* a scalar-vs-vectorized
+    regression gate — it documents what ``REPRO_ISOLATE_MESSAGES`` would
+    add per message, i.e. why timed perf runs keep isolation off.
+    """
+    wires = [r.to_wire() for r in records[:64]]
+    payload = {
+        "qid": "q-bench",
+        "version": 0.0,
+        "region": "0101",
+        "spawned": [],
+        "records": wires,
+        "path": [f"node-{i}" for i in range(8)],
+        "responder": "node-0",
+        "attempt": 1,
+        "failover": False,
+    }
+    msg = Message(src="a", dst="b", kind="query_response", payload=payload)
+
+    def run(level: str) -> None:
+        for _ in range(n_messages):
+            msg.clone(level=level)
+
+    off_s, _ = _timed(lambda: run(ISOLATE_OFF))
+    copy_s, _ = _timed(lambda: run(ISOLATE_COPY))
+    freeze_s, _ = _timed(lambda: run(ISOLATE_FREEZE))
+    per_us = lambda s: round(s / n_messages * 1e6, 3)  # noqa: E731
+    return {
+        "messages": n_messages,
+        "payload_records": len(wires),
+        "off_us_per_msg": per_us(off_s),
+        "copy_us_per_msg": per_us(copy_s),
+        "freeze_us_per_msg": per_us(freeze_s),
+        "copy_overhead_us_per_msg": per_us(copy_s - off_s),
+    }
 
 
 def run_suite(records_n: int = 100_000, queries_n: int = 50, seed: int = 7) -> Dict:

@@ -24,9 +24,9 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import numpy as np  # noqa: E402
 
 from benchmarks.perf.failover_bench import run_failover_scenario  # noqa: E402
-from benchmarks.perf.microbench import run_suite  # noqa: E402
+from benchmarks.perf.microbench import bench_isolation_overhead, make_records, run_suite  # noqa: E402
 from repro.analysis import analyze_paths  # noqa: E402
-from repro.net import protocol  # noqa: E402
+from repro.net import message, protocol  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -53,12 +53,30 @@ def main(argv=None) -> int:
         )
         return 1
 
+    # Timed sections must run with by-reference delivery: the message-
+    # isolation sanitizer (REPRO_ISOLATE_MESSAGES) deep-copies every
+    # payload at delivery — a correctness harness, not part of the
+    # modeled system cost — so a baseline recorded with it on would not
+    # be comparable to one recorded without.
+    if message.isolation_level() != message.ISOLATE_OFF:
+        print(
+            "message isolation is ON "
+            f"(level={message.isolation_level()!r}); unset "
+            "REPRO_ISOLATE_MESSAGES for timed perf runs — refusing to "
+            "record a perf baseline",
+            file=sys.stderr,
+        )
+        return 1
+
     # Measure with wire validation off regardless of the environment:
     # per-message payload checks would skew the timings.
     protocol.set_validation(False)
 
     benches = run_suite(args.records, args.queries, args.seed)
     failure_handling = run_failover_scenario(seed=args.seed)
+    # One-shot documentation bench (not a gate): what copy-on-deliver
+    # would cost per message if isolation were left on.
+    isolation_overhead = bench_isolation_overhead(make_records(256, args.seed))
     payload = {
         "meta": {
             "records": args.records,
@@ -69,6 +87,7 @@ def main(argv=None) -> int:
         },
         "benches": benches,
         "failure_handling": failure_handling,
+        "isolation_overhead": isolation_overhead,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
 

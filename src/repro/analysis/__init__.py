@@ -1,6 +1,6 @@
-"""repro-lint: static analysis over the repo's own AST.
+"""repro-lint / repro-san: static analysis over the repo's own AST.
 
-Two linters guard the invariants the paper's protocols rest on:
+Three linters guard the invariants the paper's protocols rest on:
 
 * the **protocol linter** (:mod:`repro.analysis.protocol_lint`)
   cross-checks every send site and handler registration in the code
@@ -12,16 +12,24 @@ Two linters guard the invariants the paper's protocols rest on:
   forbids ambient randomness and wall-clock time in the simulated
   subsystems — every draw must come from the seeded streams of
   :mod:`repro.sim.randomness` and every timestamp from the sim clock, so
-  a single master seed reproduces an entire experiment.
+  a single master seed reproduces an entire experiment;
+* the **aliasing analyzer** (:mod:`repro.analysis.aliasing_lint`, aka
+  *repro-san*) proves message handlers never mutate, retain, or re-send
+  payload objects by reference — the cross-node aliasing the paper's
+  TCP-serialized deployment made impossible, backstopped at runtime by
+  the ``REPRO_ISOLATE_MESSAGES`` delivery sanitizer in
+  :mod:`repro.net.message`.
 
-Run it as ``python -m repro.analysis [paths...]`` or through the tier-1
-pytest gate in ``tests/test_analysis.py``.  Individual findings can be
-suppressed with a ``# repro-lint: ignore[rule]`` comment on (or above)
-the offending line; repo-wide accepted findings live, with justification,
-in :mod:`repro.analysis.baseline`.
+Run it as ``python -m repro.analysis [paths...]`` (``--only`` selects one
+analysis, ``--format=json`` emits machine-readable findings) or through
+the tier-1 pytest gate in ``tests/test_analysis.py``.  Individual
+findings can be suppressed with a ``# repro-lint: ignore[rule]`` (or
+``# repro-san: ignore[rule]``) comment on (or above) the offending line;
+repo-wide accepted findings live, with justification, in
+:mod:`repro.analysis.baseline`.
 """
 
 from repro.analysis.findings import Finding, RULES
-from repro.analysis.runner import analyze_paths, main
+from repro.analysis.runner import LINTS, analyze_paths, main
 
-__all__ = ["Finding", "RULES", "analyze_paths", "main"]
+__all__ = ["Finding", "LINTS", "RULES", "analyze_paths", "main"]

@@ -1,0 +1,489 @@
+"""repro-san: cross-node aliasing analysis of message handlers.
+
+The simulated network hands :class:`~repro.net.message.Message` objects to
+receivers **by reference** (unless runtime isolation is on), while the
+paper's deployment serialized every message over TCP.  Any handler that
+mutates ``msg.payload``, retains a payload-reachable mutable into node
+state, or sends a live container as a payload is therefore sharing state
+across "wide-area" nodes in a way the real system makes physically
+impossible.  This pass proves the absence of those idioms statically.
+
+Taint model
+-----------
+Within a registered handler (``self._handlers``/``extra_handlers``/
+``node.handlers[...] = fn`` registrations, reusing the recognizers of
+:mod:`repro.analysis.protocol_lint`) the message parameter's ``.payload``
+is the taint source.  Taint flows through name bindings, subscript reads
+(``payload["rect"]``), and ``.get(...)`` calls — i.e. through everything
+*reachable* from the payload — and stops at any other call: ``dict(...)``,
+``list(...)``, ``thaw_payload(...)``, ``Record.from_wire(...)`` and every
+other constructor produce fresh objects, which is exactly the copy
+discipline the rules ask for.  Taint also propagates one level into
+same-module helpers that receive a tainted argument
+(``self._apply_x(msg.payload)``), mirroring the protocol linter.
+
+Rules
+-----
+* ``alias-payload-mutation`` — a store, aug-assign, ``del``, or mutating
+  method call (``.append``/``.update``/``.pop``/...) whose target is
+  payload-reachable.
+* ``alias-payload-retention`` — a payload-reachable value (or a container
+  literal embedding one) stored into ``self.*`` state without a
+  ``dict(...)``/``list(...)``/copy wrap.  ``.update(...)``/``.extend(...)``
+  *into* node state are accepted: they copy elements into the receiver.
+* ``alias-send-live-state`` — a send site (``_send``/``send``/``_flood``/
+  ``route``/``Message(payload=...)``) whose payload is the received
+  payload itself (a reflood by reference) or whose payload (value) is a
+  live mutable ``self.*`` container, without a copy wrap.
+
+Known limits (each documented here so reviewers know what the pass does
+*not* prove): loop variables are not tainted (elements of payload lists
+are usually scalars; tainting them drowns the signal), callback
+indirection (``dac.submit(..., fn, payload)``) is not followed, and
+helper propagation is same-module only.  The runtime sanitizer
+(``REPRO_ISOLATE_MESSAGES``) backstops all three at test time.
+
+Suppression: ``# repro-san: ignore[rule] reason`` on (or above) the line,
+or a justified entry in :mod:`repro.analysis.baseline`.
+"""
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.protocol_lint import (
+    ModuleInfo,
+    _attr_name,
+    _const_str,
+    _nested_handler,
+)
+
+#: method calls that mutate their receiver in place
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "update",
+        "setdefault", "popitem", "add", "discard", "sort", "reverse",
+    }
+)
+
+#: receiver methods that *store* an argument into the receiver (the value
+#: becomes reachable from the receiver afterwards)
+_STORING_MUTATORS = frozenset({"append", "add", "insert", "setdefault"})
+
+#: constructors whose results are freshly allocated mutable containers —
+#: ``self.x = set()`` marks ``x`` as live mutable node state
+_MUTABLE_CTORS = frozenset({"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"})
+
+_MUTABLE_ANNOTATIONS = frozenset({"Dict", "List", "Set", "dict", "list", "set", "DefaultDict", "Deque"})
+
+
+def _describe(node: ast.AST) -> str:
+    """Short stable rendering of an expression for finding contexts."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all real inputs
+        text = type(node).__name__
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _annotation_is_mutable(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_mutable(node.value)
+    name = _attr_name(node)
+    return name in _MUTABLE_ANNOTATIONS
+
+
+def collect_mutable_attrs(tree: ast.Module) -> Set[str]:
+    """Names of ``self.<attr>`` slots holding mutable containers.
+
+    An attribute counts when any ``self.x = ...`` assignment (or
+    annotation) in the module gives it a dict/list/set literal,
+    comprehension, or container constructor — those are the "live
+    containers" the send-side rule refuses to see in payloads.
+    """
+    attrs: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+            if _annotation_is_mutable(node.annotation):
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+        else:
+            continue
+        if value is None:
+            continue
+        mutable = isinstance(
+            value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+        ) or (isinstance(value, ast.Call) and _attr_name(value.func) in _MUTABLE_CTORS)
+        if not mutable:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+    return attrs
+
+
+def _send_payload_arg(node: ast.Call) -> Optional[ast.AST]:
+    """The payload expression of a send-site call, if this is one.
+
+    Mirrors the send shapes :mod:`repro.analysis.protocol_lint` collects;
+    the kind need not be a constant here — aliasing is about the payload
+    object, not the kind string.
+    """
+    func_name = _attr_name(node.func)
+    if func_name == "_send" and len(node.args) > 2:
+        return node.args[2]
+    if func_name == "send":
+        if len(node.args) > 3:
+            return node.args[3]
+        if len(node.args) > 2 and _const_str(node.args[1]) is not None:
+            return node.args[2]
+        return None
+    if func_name == "_flood" and len(node.args) > 1:
+        return node.args[1]
+    if func_name == "route" and len(node.args) > 2:
+        return node.args[2]
+    if func_name == "Message":
+        for keyword in node.keywords:
+            if keyword.arg == "payload":
+                return keyword.value
+    return None
+
+
+class _HandlerScope(ast.NodeVisitor):
+    """Taint-tracking walk of one handler (or taint-receiving helper)."""
+
+    def __init__(
+        self,
+        lint: "_AliasingLint",
+        fn: ast.FunctionDef,
+        payload_names: Set[str],
+        msg_names: Set[str],
+        depth: int,
+        seen: Set[str],
+    ) -> None:
+        self.lint = lint
+        self.fn = fn
+        self.tainted = set(payload_names)
+        self.msg_names = set(msg_names)
+        self.self_aliases: Set[str] = set()
+        self.depth = depth
+        self.seen = seen
+
+    # -- taint predicates ----------------------------------------------
+    def _is_tainted(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Attribute):
+            return (
+                node.attr == "payload"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in self.msg_names
+            )
+        if isinstance(node, ast.Subscript):
+            return self._is_tainted(node.value)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "get":
+                return self._is_tainted(func.value)
+        return False
+
+    def _contains_tainted(self, node: ast.AST) -> bool:
+        if self._is_tainted(node):
+            return True
+        if isinstance(node, ast.Dict):
+            return any(v is not None and self._contains_tainted(v) for v in node.values)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            return any(self._contains_tainted(elt) for elt in node.elts)
+        return False
+
+    def _is_self_rooted(self, node: ast.AST) -> bool:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return isinstance(node, ast.Name) and (
+            node.id == "self" or node.id in self.self_aliases
+        )
+
+    def _finding(self, rule: str, node: ast.AST, message: str, detail: str) -> None:
+        self.lint.add(
+            Finding(
+                path=self.lint.module.path,
+                line=node.lineno,
+                rule=rule,
+                message=message,
+                context=f"{self.fn.name}:{detail}",
+            )
+        )
+
+    # -- statements ----------------------------------------------------
+    def _check_store(self, target: ast.AST, value: Optional[ast.AST], node: ast.AST) -> None:
+        if isinstance(target, (ast.Subscript, ast.Attribute)) and self._is_tainted(target.value):
+            self._finding(
+                "alias-payload-mutation",
+                node,
+                f"handler stores into payload-reachable {_describe(target)} "
+                "(mutates the sender's object when isolation is off)",
+                _describe(target),
+            )
+            return
+        if value is None:
+            return
+        if self._is_self_rooted(target) and self._contains_tainted(value):
+            self._finding(
+                "alias-payload-retention",
+                node,
+                f"payload-reachable value retained into node state "
+                f"{_describe(target)} without a copy wrap",
+                _describe(target),
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                # propagate / clear taint through plain name bindings
+                if self._is_tainted(node.value):
+                    self.tainted.add(target.id)
+                else:
+                    self.tainted.discard(target.id)
+                    if (
+                        isinstance(node.value, ast.Attribute)
+                        and isinstance(node.value.value, ast.Name)
+                        and node.value.value.id == "self"
+                    ):
+                        self.self_aliases.add(target.id)
+                    else:
+                        self.self_aliases.discard(target.id)
+            else:
+                self._check_store(target, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            if node.value is not None and self._is_tainted(node.value):
+                self.tainted.add(node.target.id)
+        else:
+            self._check_store(node.target, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, (ast.Subscript, ast.Attribute)) and self._is_tainted(target.value):
+            self._finding(
+                "alias-payload-mutation",
+                node,
+                f"aug-assign mutates payload-reachable {_describe(target)}",
+                _describe(target),
+            )
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)) and self._is_tainted(
+                target.value
+            ):
+                self._finding(
+                    "alias-payload-mutation",
+                    node,
+                    f"del mutates payload-reachable {_describe(target)}",
+                    _describe(target),
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # mutating method on a payload-reachable receiver
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS and self._is_tainted(
+            func.value
+        ):
+            self._finding(
+                "alias-payload-mutation",
+                node,
+                f".{func.attr}() mutates payload-reachable {_describe(func.value)}",
+                f"{_describe(func.value)}.{func.attr}",
+            )
+        # value-storing method call that retains a tainted value in self state
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in _STORING_MUTATORS
+            and self._is_self_rooted(func.value)
+            and any(self._contains_tainted(arg) for arg in node.args)
+        ):
+            self._finding(
+                "alias-payload-retention",
+                node,
+                f".{func.attr}() retains a payload-reachable value in node "
+                f"state {_describe(func.value)} without a copy wrap",
+                f"{_describe(func.value)}.{func.attr}",
+            )
+        # reflood / re-send of the received payload by reference
+        payload_arg = _send_payload_arg(node)
+        if payload_arg is not None and self._is_tainted(payload_arg):
+            self._finding(
+                "alias-send-live-state",
+                node,
+                f"send re-uses the received payload {_describe(payload_arg)} "
+                "by reference; wrap it in dict(...)/thaw_payload(...) first",
+                f"send:{_describe(payload_arg)}",
+            )
+        # one level of helper propagation for tainted arguments
+        callee = _attr_name(func)
+        if callee is not None and self.depth < 2:
+            positions = [i for i, arg in enumerate(node.args) if self._is_tainted(arg)]
+            if positions:
+                target_fn = self.lint.module.functions.get(callee)
+                if target_fn is not None and target_fn.name not in self.seen:
+                    self.lint.analyze_function(
+                        target_fn,
+                        tainted_positions=positions,
+                        depth=self.depth + 1,
+                        seen=self.seen,
+                    )
+        self.generic_visit(node)
+
+
+class _AliasingLint:
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.mutable_attrs = collect_mutable_attrs(module.tree)
+        self._findings: Dict[Tuple[str, int, str], Finding] = {}
+
+    def add(self, finding: Finding) -> None:
+        self._findings.setdefault((finding.rule, finding.line, finding.message), finding)
+
+    # -- handler-side taint analysis -----------------------------------
+    def analyze_function(
+        self,
+        fn: ast.FunctionDef,
+        *,
+        as_msg: bool = False,
+        tainted_positions: Optional[Sequence[int]] = None,
+        depth: int = 0,
+        seen: Optional[Set[str]] = None,
+    ) -> None:
+        seen = set() if seen is None else seen
+        seen.add(fn.name)
+        params = [a.arg for a in fn.args.args if a.arg not in ("self", "cls")]
+        if not params:
+            return
+        if as_msg:
+            scope = _HandlerScope(self, fn, set(), {params[0]}, depth, seen)
+        else:
+            positions = [0] if tainted_positions is None else tainted_positions
+            names = {params[i] for i in positions if i < len(params)}
+            if not names:
+                return
+            scope = _HandlerScope(self, fn, names, set(), depth, seen)
+        for stmt in fn.body:
+            scope.visit(stmt)
+
+    def run_handlers(self) -> None:
+        for reg in self.module.handlers:
+            if reg.routed:
+                # Routed arrival handlers receive a private envelope: the
+                # "route" handler is itself checked by the mutation rule,
+                # which forces it to thaw msg.payload before routing.
+                continue
+            if reg.func_name is None:
+                continue
+            fn = self.module.functions.get(reg.func_name)
+            if fn is None:
+                continue
+            if reg.factory:
+                fn = _nested_handler(fn)
+                if fn is None:
+                    continue
+            self.analyze_function(fn, as_msg=True)
+
+    # -- send-side live-state analysis ---------------------------------
+    def _live_self_container(self, node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+        """The mutable attr name if ``node`` is a live ``self.<attr>``."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in self.mutable_attrs
+        ):
+            return node.attr
+        if isinstance(node, ast.Name) and node.id in aliases:
+            return aliases[node.id]
+        return None
+
+    def run_sends(self) -> None:
+        for site in self.module.sends:
+            payload = site.payload
+            if payload is None or site.func is None:
+                continue
+            aliases: Dict[str, str] = {}
+            literals: List[ast.Dict] = []
+            for stmt in ast.walk(site.func):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    attr = None
+                    if (
+                        isinstance(stmt.value, ast.Attribute)
+                        and isinstance(stmt.value.value, ast.Name)
+                        and stmt.value.value.id == "self"
+                        and stmt.value.attr in self.mutable_attrs
+                    ):
+                        attr = stmt.value.attr
+                    if attr is not None:
+                        aliases[target.id] = attr
+                    if (
+                        isinstance(payload, ast.Name)
+                        and target.id == payload.id
+                        and isinstance(stmt.value, ast.Dict)
+                    ):
+                        literals.append(stmt.value)
+            candidates: List[ast.AST] = []
+            if isinstance(payload, ast.Dict):
+                literals.append(payload)
+            else:
+                candidates.append(payload)
+            for literal in literals:
+                candidates.extend(v for v in literal.values if v is not None)
+            for expr in candidates:
+                attr = self._live_self_container(expr, aliases)
+                if attr is None:
+                    continue
+                self.add(
+                    Finding(
+                        path=self.module.path,
+                        line=expr.lineno,
+                        rule="alias-send-live-state",
+                        message=(
+                            f"payload for {site.kind!r} carries the live "
+                            f"container self.{attr}; send a dict(...)/list(...) "
+                            "copy so later local mutation cannot leak across nodes"
+                        ),
+                        context=f"{site.context}:self.{attr}",
+                    )
+                )
+
+    def findings(self) -> List[Finding]:
+        return list(self._findings.values())
+
+
+def lint_aliasing(module: ModuleInfo) -> List[Finding]:
+    """Run the aliasing rules over one collected module."""
+    lint = _AliasingLint(module)
+    lint.run_handlers()
+    lint.run_sends()
+    return lint.findings()

@@ -55,6 +55,21 @@ RULES = {
         "iteration over a set, whose order depends on PYTHONHASHSEED; "
         "wrap in sorted(...) or iterate a deterministic container"
     ),
+    "alias-payload-mutation": (
+        "a handler mutates msg.payload or a value reached through it; "
+        "with by-reference delivery that edits the sender's object — "
+        "work on a thaw_payload(...)/dict(...) copy instead"
+    ),
+    "alias-payload-retention": (
+        "a handler retains a payload-reachable mutable into self.* state "
+        "without a dict(...)/list(...)/copy wrap, so later sender-side "
+        "mutation leaks into this node"
+    ),
+    "alias-send-live-state": (
+        "a send site passes a live mutable container (node state or the "
+        "received payload) as payload without copying; every receiver "
+        "would alias the same object"
+    ),
 }
 
 

@@ -2,12 +2,14 @@
 
 import argparse
 import ast
+import json
 import os
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import baseline as baseline_mod
+from repro.analysis.aliasing_lint import lint_aliasing
 from repro.analysis.determinism_lint import collect_set_attrs, lint_determinism
 from repro.analysis.findings import RULES, Finding
 from repro.analysis.protocol_lint import collect_module, lint_protocol
@@ -18,6 +20,9 @@ from repro.analysis.suppressions import (
 )
 from repro.net import protocol
 
+#: the individual analyses ``--only`` can select
+LINTS = ("protocol", "determinism", "aliasing")
+
 #: repro subpackages whose code must be deterministic.  ``analysis`` and
 #: ``experiments`` are excluded: they run outside the simulation (the
 #: linter itself, plotting/driver scripts) and may touch the wall clock.
@@ -26,6 +31,11 @@ DETERMINISM_SCOPE = ("overlay", "core", "net", "sim", "baselines")
 #: files inside the scope that are allowed ambient-randomness primitives —
 #: the seeded-stream registry itself wraps ``random.Random``.
 DETERMINISM_EXEMPT = ("repro/sim/randomness.py",)
+
+#: repro subpackages subject to the cross-node aliasing rules — the code
+#: that sends or handles messages.  ``sim`` (kernel/RNG, no messages) and
+#: the offline packages are out of scope.
+ALIASING_SCOPE = ("overlay", "core", "net", "baselines")
 
 
 @dataclass
@@ -72,17 +82,25 @@ def discover_files(paths: Sequence[str]) -> List[str]:
     return files
 
 
-def _in_determinism_scope(rel_path: str) -> bool:
-    if any(rel_path.endswith(exempt) for exempt in DETERMINISM_EXEMPT):
-        return False
+def _in_scope(rel_path: str, scope: Sequence[str]) -> bool:
     marker = "repro/"
     idx = rel_path.rfind(marker)
     if idx < 0:
         # not part of the repro package (e.g. test fixtures): lint it —
-        # fixtures exist precisely to exercise the determinism rules.
+        # fixtures exist precisely to exercise the rules.
         return True
     remainder = rel_path[idx + len(marker):]
-    return remainder.split("/", 1)[0] in DETERMINISM_SCOPE
+    return remainder.split("/", 1)[0] in scope
+
+
+def _in_determinism_scope(rel_path: str) -> bool:
+    if any(rel_path.endswith(exempt) for exempt in DETERMINISM_EXEMPT):
+        return False
+    return _in_scope(rel_path, DETERMINISM_SCOPE)
+
+
+def _in_aliasing_scope(rel_path: str) -> bool:
+    return _in_scope(rel_path, ALIASING_SCOPE)
 
 
 def analyze_paths(
@@ -91,18 +109,24 @@ def analyze_paths(
     routed: Optional[Dict[str, protocol.MessageKind]] = None,
     check_coverage: bool = True,
     baseline: Optional[Sequence[Dict[str, str]]] = None,
+    lints: Optional[Sequence[str]] = None,
 ) -> AnalysisResult:
-    """Run both linters over ``paths`` (files or directories).
+    """Run the linters over ``paths`` (files or directories).
 
     ``registry``/``routed`` default to the live wire registry; tests pass
     miniature registries to pin down individual rules.  ``check_coverage``
     gates the whole-protocol checks (unhandled / unsent / dead kinds),
     which only make sense when the analyzed set covers every sender and
-    handler — leave it off when linting a single file.
+    handler — leave it off when linting a single file.  ``lints`` selects
+    a subset of :data:`LINTS` (default: all three).
     """
     registry = protocol.REGISTRY if registry is None else registry
     routed = protocol.ROUTED if routed is None else routed
     baseline = baseline_mod.BASELINE if baseline is None else baseline
+    selected = set(LINTS if lints is None else lints)
+    unknown = selected - set(LINTS)
+    if unknown:
+        raise ValueError(f"unknown lint(s): {sorted(unknown)} (expected {LINTS})")
 
     sources: List[Tuple[str, str, ast.Module]] = []
     for filename in discover_files(paths):
@@ -112,12 +136,22 @@ def analyze_paths(
         sources.append((_rel(filename), source, tree))
 
     modules = [collect_module(rel_path, tree) for rel_path, _, tree in sources]
-    findings = lint_protocol(modules, registry, routed, check_coverage=check_coverage)
+    findings: List[Finding] = []
+    if "protocol" in selected:
+        findings.extend(
+            lint_protocol(modules, registry, routed, check_coverage=check_coverage)
+        )
 
-    set_attrs = collect_set_attrs(tree for _, _, tree in sources)
-    for rel_path, _, tree in sources:
-        if _in_determinism_scope(rel_path):
-            findings.extend(lint_determinism(rel_path, tree, set_attrs))
+    if "determinism" in selected:
+        set_attrs = collect_set_attrs(tree for _, _, tree in sources)
+        for rel_path, _, tree in sources:
+            if _in_determinism_scope(rel_path):
+                findings.extend(lint_determinism(rel_path, tree, set_attrs))
+
+    if "aliasing" in selected:
+        for module in modules:
+            if _in_aliasing_scope(module.path):
+                findings.extend(lint_aliasing(module))
 
     ignores_by_path = {rel_path: inline_ignores(source) for rel_path, source, _ in sources}
     result = AnalysisResult()
@@ -137,14 +171,42 @@ def _default_paths() -> List[str]:
     return [os.path.dirname(os.path.abspath(repro.__file__))]
 
 
+def _finding_dict(finding: Finding) -> Dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "file": finding.path,
+        "line": finding.line,
+        "message": finding.message,
+        "context": finding.context,
+        "key": finding.key,
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="repro-lint: protocol & determinism static analysis",
+        description=(
+            "repro static analysis: protocol (repro-lint), determinism "
+            "(repro-lint), and cross-node aliasing (repro-san)"
+        ),
+        epilog=(
+            "exit codes: 0 — no active findings; 1 — active findings "
+            "(suppressed/baselined ones never fail the gate); 2 — usage "
+            "error (unknown flag or --only value)"
+        ),
     )
     parser.add_argument(
         "paths", nargs="*",
         help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--only", choices=LINTS, metavar="{protocol,determinism,aliasing}",
+        help="run a single analysis instead of all three",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format; json emits {findings, suppressed, accepted, ok} "
+        "with rule/file/line per finding",
     )
     parser.add_argument(
         "--no-coverage", action="store_true",
@@ -162,7 +224,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     paths = list(args.paths) or _default_paths()
-    result = analyze_paths(paths, check_coverage=not args.no_coverage)
+    lints = None if args.only is None else (args.only,)
+    result = analyze_paths(paths, check_coverage=not args.no_coverage, lints=lints)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [_finding_dict(f) for f in result.active],
+                    "suppressed": len(result.suppressed),
+                    "accepted": len(result.accepted),
+                    "ok": result.ok,
+                },
+                indent=2,
+            )
+        )
+        return 0 if result.ok else 1
 
     for finding in result.active:
         print(finding.render())

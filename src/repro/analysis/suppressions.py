@@ -4,7 +4,9 @@ Two escape hatches, both explicit and reviewable:
 
 * an inline comment ``# repro-lint: ignore[rule-a,rule-b] reason`` on the
   flagged line (or on the line directly above it) suppresses those rules
-  at that site; ``ignore[*]`` suppresses every rule;
+  at that site; ``ignore[*]`` suppresses every rule.  The aliasing rules
+  spell the tag ``# repro-san: ignore[...]`` — both spellings are
+  accepted for any rule;
 * :data:`repro.analysis.baseline.BASELINE` lists accepted findings by
   their stable ``rule:path:context`` key, each with a written
   justification — for sites where an inline comment would be awkward
@@ -19,7 +21,7 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.analysis.findings import Finding
 
-_IGNORE_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]+)\]")
+_IGNORE_RE = re.compile(r"#\s*repro-(?:lint|san):\s*ignore\[([^\]]+)\]")
 
 
 def inline_ignores(source: str) -> Dict[int, Set[str]]:

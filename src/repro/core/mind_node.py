@@ -299,7 +299,9 @@ class MindNode(OverlayNode):
             self._install_index(
                 name, VersionedEmbedding.from_wire(payload["versions"]), payload["replication"]
             )
-        self._flood("index_create", payload, key)
+        # Copy-on-send: reflooding the received payload object would share
+        # one container across every node the flood reaches.
+        self._flood("index_create", dict(payload), key)
 
     def _on_index_version(self, msg: Message) -> None:
         payload = msg.payload
@@ -310,7 +312,7 @@ class MindNode(OverlayNode):
         state = self.indices.get(name)
         if state is not None and not self.has_version_at(name, valid_from):
             state.versions.install(valid_from, Embedding.from_wire(payload["embedding"]))
-        self._flood("index_version", payload, key)
+        self._flood("index_version", dict(payload), key)
 
     def _on_index_drop(self, msg: Message) -> None:
         name = msg.payload["index"]
@@ -318,7 +320,7 @@ class MindNode(OverlayNode):
         if key in self._seen_floods:
             return
         self._drop_index(name)
-        self._flood("index_drop", msg.payload, key)
+        self._flood("index_drop", dict(msg.payload), key)
 
     # ==================================================================
     # Hooks from the overlay layer
@@ -1068,7 +1070,9 @@ class MindNode(OverlayNode):
             "region": envelope["target"],
             "spawned": spawned,
             "records": [r.to_wire() for r in matches],
-            "path": envelope["path"],
+            # Copy-on-send: the envelope's path list stays live in retained
+            # state (sibling fetches hold the envelope), so ship a snapshot.
+            "path": list(envelope["path"]),
             "responder": self.address,
             "attempt": envelope["inner"].get("attempt", 1),
             "failover": bool(envelope["inner"].get("failover", False)),
@@ -1077,12 +1081,13 @@ class MindNode(OverlayNode):
         if origin == self.address:
             self._apply_query_response(payload)
         else:
-            def response_failed(msg, reason, _origin=origin, _payload=payload):
+            def response_failed(msg, reason):
                 # The paper saw exactly this: responders unable to reach the
                 # originator during routing outages retry the direct
                 # connection (Figure 11's spikes).  Retry until the op ages
-                # out at the originator.
-                self._send(_origin, "query_response", _payload, on_fail=response_failed)
+                # out at the originator.  Each attempt is a fresh clone, so
+                # size accounting and payload never alias between attempts.
+                self.network.resend(msg, on_fail=response_failed)
 
             self._send(origin, "query_response", payload, size_bytes=size, on_fail=response_failed)
 
@@ -1310,7 +1315,7 @@ class MindNode(OverlayNode):
         if key in self._seen_floods:
             return
         self.trigger_table.remove(payload["index"], payload["trigger_id"])
-        self._flood("trigger_drop", payload, key)
+        self._flood("trigger_drop", dict(payload), key)
 
     # ==================================================================
     # On-line histogram collection (Section 3.7's planned extension)
@@ -1376,7 +1381,7 @@ class MindNode(OverlayNode):
         key = ("histo", payload["req_id"])
         if key in self._seen_floods:
             return
-        self._flood("histo_request", payload, key)
+        self._flood("histo_request", dict(payload), key)
         self._histo_reply_local(payload)
 
     def _histo_reply_local(self, payload: Dict[str, Any]) -> None:

@@ -15,10 +15,33 @@ When protocol validation is enabled (see :mod:`repro.net.protocol`),
 construction checks ``kind`` and the payload's key set against the wire
 registry, so a typo'd kind or a drifted payload shape fails at the send
 site instead of diverging silently between peers.
+
+Message isolation
+-----------------
+The real system serialized every message over TCP, so a receiver could
+never mutate the sender's copy.  The simulation passes payloads by
+reference, which makes cross-node aliasing possible.  The *isolation*
+switch closes that gap at delivery time:
+
+* ``copy`` — the network delivers a :meth:`Message.clone` whose payload
+  containers are recursively copied, so receiver-side mutation can never
+  reach the sender's objects.
+* ``freeze`` — the clone's payload is recursively frozen
+  (:class:`types.MappingProxyType` / tuples / frozensets), so any mutation
+  attempt raises ``TypeError`` at the offending line.
+* ``off`` — by-reference delivery (the perf-run default; copying would
+  distort timing benchmarks).
+
+The initial level comes from ``REPRO_ISOLATE_MESSAGES`` (``1``/``copy``,
+``freeze``, or unset/``0`` for off); tests flip it with
+:func:`set_isolation` or the :func:`isolation` context manager.
 """
 
 import itertools
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Any, Dict
 
 from repro.net import protocol
@@ -27,6 +50,147 @@ _MESSAGE_IDS = itertools.count(1)
 
 #: Nominal wire overhead of a framed message (headers), in bytes.
 HEADER_BYTES = 64
+
+#: Isolation levels, weakest to strongest.
+ISOLATE_OFF = "off"
+ISOLATE_COPY = "copy"
+ISOLATE_FREEZE = "freeze"
+
+_LEVELS = (ISOLATE_OFF, ISOLATE_COPY, ISOLATE_FREEZE)
+
+
+def _level_from_env() -> str:
+    raw = os.environ.get("REPRO_ISOLATE_MESSAGES", "").strip().lower()
+    if raw in ("", "0", "off", "false", "no"):
+        return ISOLATE_OFF
+    if raw == ISOLATE_FREEZE:
+        return ISOLATE_FREEZE
+    return ISOLATE_COPY
+
+
+_isolation = _level_from_env()
+
+
+def isolation_level() -> str:
+    """The current delivery isolation level (``off``/``copy``/``freeze``)."""
+    return _isolation
+
+
+def set_isolation(level) -> str:
+    """Set the isolation level; returns the previous level.
+
+    Accepts a level string, or ``True``/``False`` as shorthand for
+    ``copy``/``off``.
+    """
+    global _isolation
+    if level is True:
+        level = ISOLATE_COPY
+    elif level in (False, None):
+        level = ISOLATE_OFF
+    if level not in _LEVELS:
+        raise ValueError(f"unknown isolation level: {level!r} (expected one of {_LEVELS})")
+    previous = _isolation
+    _isolation = level
+    return previous
+
+
+@contextmanager
+def isolation(level):
+    """Context manager scoping an isolation level change."""
+    previous = set_isolation(level)
+    try:
+        yield
+    finally:
+        set_isolation(previous)
+
+
+class FrozenListView(tuple):
+    """Read-only stand-in for a *list* inside a frozen payload.
+
+    A plain tuple subclass, so mutation raises and hashing works — but
+    :func:`thaw_payload` can still tell it apart from a payload value that
+    was a tuple to begin with (tuples are often dict keys, e.g. routed
+    ``op_id``s, and must survive a freeze/thaw round trip unchanged).
+    """
+
+    __slots__ = ()
+
+
+class FrozenSetView(frozenset):
+    """Read-only stand-in for a *set* inside a frozen payload."""
+
+    __slots__ = ()
+
+
+def copy_payload(value: Any) -> Any:
+    """Recursively copy the container structure of a payload value.
+
+    Only plain containers (dict/list/tuple/set) are copied — each keeps
+    its type; leaves — scalars, strings, frozensets, and domain objects
+    such as :class:`~repro.core.records.Record` — are shared, matching
+    what serialization would preserve (domain objects cross the simulated
+    wire via their own ``to_wire``/``from_wire`` copies).
+    """
+    if isinstance(value, dict):
+        return {key: copy_payload(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [copy_payload(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(copy_payload(item) for item in value)
+    if isinstance(value, set):
+        return {copy_payload(item) for item in value}
+    return value
+
+
+def freeze_payload(value: Any) -> Any:
+    """Recursively freeze a payload value into read-only views.
+
+    dicts become :class:`types.MappingProxyType` over frozen copies,
+    lists become :class:`FrozenListView` tuples, sets become
+    :class:`FrozenSetView` frozensets; tuples and frozensets stay what
+    they are (recursively frozen).  Mutating the result raises
+    ``TypeError``/``AttributeError`` at the offending call site, and
+    :func:`thaw_payload` restores the exact original container types.
+    """
+    if isinstance(value, (dict, MappingProxyType)):
+        return MappingProxyType({key: freeze_payload(item) for key, item in value.items()})
+    if isinstance(value, FrozenListView):
+        return value
+    if isinstance(value, list):
+        return FrozenListView(freeze_payload(item) for item in value)
+    if isinstance(value, tuple):
+        return tuple(freeze_payload(item) for item in value)
+    if isinstance(value, FrozenSetView):
+        return value
+    if isinstance(value, set):
+        return FrozenSetView(freeze_payload(item) for item in value)
+    return value
+
+
+def thaw_payload(value: Any) -> Any:
+    """Deep-copy a (possibly frozen) payload back into mutable containers.
+
+    The inverse of :func:`freeze_payload`: receivers that legitimately
+    need a private mutable working copy of a delivered payload (e.g. a
+    routed envelope whose ``hops``/``path`` advance at every hop) thaw it
+    first, which is also exactly the copy-on-receive discipline the
+    aliasing lint asks for.  Container types are preserved: only the
+    frozen *views* (mapping proxies, list/set views) turn back into their
+    mutable originals; genuine tuples and frozensets stay immutable.
+    """
+    if isinstance(value, (dict, MappingProxyType)):
+        return {key: thaw_payload(item) for key, item in value.items()}
+    if isinstance(value, FrozenListView):
+        return [thaw_payload(item) for item in value]
+    if isinstance(value, list):
+        return [thaw_payload(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(thaw_payload(item) for item in value)
+    if isinstance(value, FrozenSetView):
+        return {thaw_payload(item) for item in value}
+    if isinstance(value, set):
+        return {thaw_payload(item) for item in value}
+    return value
 
 
 @dataclass
@@ -65,3 +229,36 @@ class Message:
     def wire_size(self) -> int:
         """Framed size on the wire: body plus :data:`HEADER_BYTES`."""
         return self.size_bytes + HEADER_BYTES
+
+    def clone(self, level: str = ISOLATE_COPY, fresh_id: bool = False) -> "Message":
+        """Re-frame this message with an isolated payload.
+
+        The single copy path shared by the delivery sanitizer and any
+        retry/failover re-send: ``size_bytes`` is carried over verbatim
+        (it is the sender-declared body size, so re-framing never
+        double-counts :data:`HEADER_BYTES`) and the payload is isolated
+        per ``level`` (``copy`` → recursively copied containers,
+        ``freeze`` → recursively frozen views, ``off`` → shared).
+
+        ``fresh_id=False`` (the default, used at delivery) keeps
+        ``msg_id`` so traces correlate the delivered clone with the send;
+        re-send paths pass ``fresh_id=True`` so each attempt is a
+        distinct wire message.
+        """
+        if level == ISOLATE_FREEZE:
+            payload = freeze_payload(self.payload)
+        elif level == ISOLATE_COPY:
+            payload = copy_payload(self.payload)
+        elif level == ISOLATE_OFF:
+            payload = self.payload
+        else:
+            raise ValueError(f"unknown isolation level: {level!r} (expected one of {_LEVELS})")
+        kwargs = {} if fresh_id else {"msg_id": self.msg_id}
+        return Message(
+            src=self.src,
+            dst=self.dst,
+            kind=self.kind,
+            payload=payload,
+            size_bytes=self.size_bytes,
+            **kwargs,
+        )

@@ -14,6 +14,7 @@ detection delay, letting overlay code run its reconnect/re-route logic.
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.net import message as message_mod
 from repro.net.latency import LatencyModel
 from repro.net.message import Message
 from repro.net.topology import Site
@@ -165,6 +166,27 @@ class SimNetwork:
         the per-link traffic accounting of Figure 12.
         """
         msg = Message(src=src, dst=dst, kind=kind, payload=payload or {}, size_bytes=size_bytes)
+        return self._transmit(msg, tuples, on_fail)
+
+    def resend(
+        self,
+        msg: Message,
+        tuples: int = 0,
+        on_fail: Optional[FailFn] = None,
+    ) -> Message:
+        """Re-send a previously framed message as a fresh attempt.
+
+        The retry/failover path for direct sends: the attempt goes out as
+        ``msg.clone(fresh_id=True)``, so it carries its own payload copy
+        and message id — ``size_bytes`` (and any receiver-side ``hops``
+        bookkeeping inside the payload) can never alias between attempts,
+        and the body size the sender declared is preserved exactly.
+        """
+        clone = msg.clone(level=message_mod.ISOLATE_COPY, fresh_id=True)
+        return self._transmit(clone, tuples, on_fail)
+
+    def _transmit(self, msg: Message, tuples: int, on_fail: Optional[FailFn]) -> Message:
+        src, dst = msg.src, msg.dst
         self.messages_sent += 1
 
         if not self._node_up.get(src, False):
@@ -221,6 +243,13 @@ class SimNetwork:
             self._fail(msg, "peer-down", on_fail, immediate=True)
             return
         self.messages_delivered += 1
+        level = message_mod.isolation_level()
+        if level != message_mod.ISOLATE_OFF:
+            # Message-isolation sanitizer: the real deployment serialized
+            # every message over TCP, so hand the endpoint a clone whose
+            # payload cannot alias the sender's objects (and, at the
+            # ``freeze`` level, raises on any mutation attempt).
+            msg = msg.clone(level=level)
         self._endpoints[msg.dst](msg)
 
     def _fail(self, msg: Message, reason: str, on_fail: Optional[FailFn], immediate: bool = False) -> None:

@@ -17,7 +17,7 @@ behind the paper's long latency tails (Figures 7, 8, 11).  Per-node
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from repro.net.message import Message
+from repro.net.message import Message, thaw_payload
 from repro.net.network import SimNetwork
 from repro.overlay.code import Code
 from repro.overlay.join import (
@@ -586,7 +586,10 @@ class OverlayNode:
         self._route_step(envelope)
 
     def _on_route(self, msg: Message) -> None:
-        self._route_step(msg.payload)
+        # Copy-on-receive: the envelope advances (hops/path/exclude) at
+        # every hop and may be retained in ``_ring_state``, so routing must
+        # work on a private deep copy, never the sender's object.
+        self._route_step(thaw_payload(msg.payload))
 
     def _route_step(self, envelope: Dict[str, Any]) -> None:
         if not self.in_overlay():
@@ -680,6 +683,7 @@ class OverlayNode:
         seen_key = (payload["op_id"], payload["origin"])
         if self._ring_seen.get(seen_key, 0) >= payload["ttl"]:
             return
+        # repro-san: ignore[alias-payload-retention] ttl is an int, not a container
         self._ring_seen[seen_key] = payload["ttl"]
         if len(self._ring_seen) > 4096:
             # Bounded memory: drop the oldest half (dict preserves

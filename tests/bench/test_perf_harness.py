@@ -23,11 +23,15 @@ EXPECTED_BENCHES = {
 }
 
 
-def test_run_py_writes_bench_perf_json(tmp_path):
-    output = tmp_path / "BENCH_PERF.json"
+def _run_harness(output, extra_env=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
-    result = subprocess.run(
+    # Timed perf sections require by-reference delivery; the harness
+    # refuses to run with the isolation sanitizer on, so the smoke test
+    # must not leak the suite's REPRO_ISOLATE_MESSAGES into it.
+    env.pop("REPRO_ISOLATE_MESSAGES", None)
+    env.update(extra_env or {})
+    return subprocess.run(
         [
             sys.executable,
             str(REPO_ROOT / "benchmarks" / "perf" / "run.py"),
@@ -41,6 +45,11 @@ def test_run_py_writes_bench_perf_json(tmp_path):
         text=True,
         timeout=300,
     )
+
+
+def test_run_py_writes_bench_perf_json(tmp_path):
+    output = tmp_path / "BENCH_PERF.json"
+    result = _run_harness(output)
     assert result.returncode == 0, result.stdout + result.stderr
     payload = json.loads(output.read_text())
     assert payload["meta"]["records"] == 3000
@@ -49,3 +58,15 @@ def test_run_py_writes_bench_perf_json(tmp_path):
         assert entry["scalar_s"] >= 0.0, name
         assert entry["vectorized_s"] >= 0.0, name
         assert entry["speedup"] > 0.0, name
+    overhead = payload["isolation_overhead"]
+    assert overhead["messages"] > 0
+    assert overhead["copy_us_per_msg"] >= 0.0
+    assert overhead["freeze_us_per_msg"] >= 0.0
+
+
+def test_run_py_refuses_isolation_on(tmp_path):
+    output = tmp_path / "BENCH_PERF.json"
+    result = _run_harness(output, extra_env={"REPRO_ISOLATE_MESSAGES": "copy"})
+    assert result.returncode == 1
+    assert "isolation" in result.stderr
+    assert not output.exists()

@@ -6,11 +6,20 @@ integration tests, churn runs, baselines — is checked against the
 registry in :mod:`repro.net.protocol`, so payload drift fails loudly.
 Unit tests that deliberately send ad-hoc kinds opt out locally with
 ``protocol.validation(False)``.
+
+The suite also runs with message isolation ON (``copy`` level unless
+``REPRO_ISOLATE_MESSAGES`` picks another): every delivery clones the
+payload, so any handler that relied on cross-node aliasing fails here
+rather than silently diverging from the paper's TCP-serialized
+deployment.  ``REPRO_ISOLATE_MESSAGES=freeze`` hardens the whole suite
+further — delivered payloads become read-only views and mutation raises.
+Perf benchmarks opt out locally (copying would distort timings); tests
+that need a specific level use ``message.isolation(level)``.
 """
 
 import pytest
 
-from repro.net import protocol
+from repro.net import message, protocol
 
 
 @pytest.fixture(autouse=True, scope="session")
@@ -19,3 +28,13 @@ def _wire_validation():
     protocol.set_validation(True)
     yield
     protocol.set_validation(previous)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _message_isolation():
+    level = message.isolation_level()
+    if level == message.ISOLATE_OFF:
+        level = message.ISOLATE_COPY
+    previous = message.set_isolation(level)
+    yield
+    message.set_isolation(previous)

@@ -1,0 +1,487 @@
+"""repro-san rule tests: each aliasing rule fires on its fixture, and only there.
+
+Mirrors ``tests/test_analysis.py``: tiny modules written to ``tmp_path``,
+analyzed with only the aliasing lint selected, each rule pinned to an
+exact line.  Ends with the suppression and baseline round trips and the
+CLI selectors (``--only``, ``--format=json``).
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.runner import main
+
+pytestmark = pytest.mark.lint
+
+REPRO_PKG = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def write_fixture(tmp_path, source):
+    path = tmp_path / "fixture_mod.py"
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def line_of(path, needle):
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"{needle!r} not found in fixture")
+
+
+def analyze_aliasing(path, baseline=()):
+    return analyze_paths(
+        [str(path)],
+        registry={},
+        routed={},
+        check_coverage=False,
+        baseline=list(baseline),
+        lints=("aliasing",),
+    )
+
+
+# ----------------------------------------------------------------------
+# alias-payload-mutation
+# ----------------------------------------------------------------------
+def test_payload_subscript_store_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+
+            def _on_probe(self, msg):
+                msg.payload["ttl"] = 0
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-payload-mutation"]
+    assert result.active[0].line == line_of(path, 'msg.payload["ttl"] = 0')
+
+
+def test_aug_assign_through_payload_alias_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+
+            def _on_probe(self, msg):
+                envelope = msg.payload
+                envelope["hops"] += 1
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-payload-mutation"]
+    assert result.active[0].line == line_of(path, 'envelope["hops"] += 1')
+
+
+def test_mutator_method_on_payload_value_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+
+            def _on_probe(self, msg):
+                visited = msg.payload["visited"]
+                visited.append(self.address)
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-payload-mutation"]
+    assert result.active[0].line == line_of(path, "visited.append")
+
+
+def test_del_on_payload_key_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+
+            def _on_probe(self, msg):
+                del msg.payload["ttl"]
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-payload-mutation"]
+    assert result.active[0].line == line_of(path, "del msg.payload")
+
+
+def test_mutating_a_private_copy_is_clean(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+
+            def _on_probe(self, msg):
+                mine = dict(msg.payload)
+                mine["hops"] += 1
+                fwd = dict(msg.payload, visited=list(msg.payload["visited"]))
+                fwd["visited"].append(self.address)
+        """,
+    )
+    assert analyze_aliasing(path).active == []
+
+
+# ----------------------------------------------------------------------
+# alias-payload-retention
+# ----------------------------------------------------------------------
+def test_storing_payload_value_into_self_state_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+                self._cache = {}
+
+            def _on_probe(self, msg):
+                self._cache[msg.src] = msg.payload["rect"]
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-payload-retention"]
+    assert result.active[0].line == line_of(path, "self._cache[msg.src]")
+
+
+def test_appending_payload_value_into_self_state_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+                self._backlog = []
+
+            def _on_probe(self, msg):
+                self._backlog.append(msg.payload)
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-payload-retention"]
+    assert result.active[0].line == line_of(path, "self._backlog.append")
+
+
+def test_container_literal_embedding_payload_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+                self._state = {}
+
+            def _on_probe(self, msg):
+                envelope = msg.payload
+                self._state[msg.src] = {"envelope": envelope, "ttl": 1}
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-payload-retention"]
+    assert result.active[0].line == line_of(path, '{"envelope": envelope, "ttl": 1}')
+
+
+def test_copy_wrapped_retention_is_clean(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+                self._cache = {}
+                self._keys = set()
+
+            def _on_probe(self, msg):
+                self._cache[msg.src] = dict(msg.payload)
+                self._keys.add(tuple(msg.payload["key"]))
+                self._cache[msg.src] = list(msg.payload["rect"])
+        """,
+    )
+    assert analyze_aliasing(path).active == []
+
+
+# ----------------------------------------------------------------------
+# alias-send-live-state
+# ----------------------------------------------------------------------
+def test_reflooding_received_payload_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"announce": self._on_announce}
+
+            def _on_announce(self, msg):
+                payload = msg.payload
+                self._flood("announce", payload, payload["key"])
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-send-live-state"]
+    assert result.active[0].line == line_of(path, 'self._flood("announce", payload')
+
+
+def test_reflooding_a_copy_is_clean(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"announce": self._on_announce}
+
+            def _on_announce(self, msg):
+                payload = msg.payload
+                self._flood("announce", dict(payload), payload["key"])
+        """,
+    )
+    assert analyze_aliasing(path).active == []
+
+
+def test_sending_live_self_container_as_payload_value_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._members = []
+
+            def share(self, dst):
+                self._send(dst, "roster", {"members": self._members})
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-send-live-state"]
+    assert result.active[0].line == line_of(path, '{"members": self._members}')
+    assert "self._members" in result.active[0].message
+
+
+def test_sending_live_container_via_local_alias_is_flagged(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._members = []
+
+            def share(self, dst):
+                roster = self._members
+                self._send(dst, "roster", {"members": roster})
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-send-live-state"]
+
+
+def test_sending_copied_self_container_is_clean(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._members = []
+                self.name = "n0"
+
+            def share(self, dst):
+                self._send(dst, "roster", {"members": list(self._members), "who": self.name})
+        """,
+    )
+    assert analyze_aliasing(path).active == []
+
+
+# ----------------------------------------------------------------------
+# Propagation and scope behavior
+# ----------------------------------------------------------------------
+def test_taint_propagates_one_level_into_helpers(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+
+            def _on_probe(self, msg):
+                self._apply(msg.payload)
+
+            def _apply(self, payload):
+                payload["seen"] = True
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-payload-mutation"]
+    assert result.active[0].line == line_of(path, 'payload["seen"] = True')
+
+
+def test_loop_variables_are_not_tainted(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+                self._seen = set()
+
+            def _on_probe(self, msg):
+                for addr in msg.payload["visited"]:
+                    self._seen.add(addr)
+        """,
+    )
+    assert analyze_aliasing(path).active == []
+
+
+def test_routed_arrival_handlers_are_exempt(tmp_path):
+    # Routed envelopes are thawed into private copies at the "route"
+    # handler (which the mutation rule polices); arrival handlers may
+    # mutate their envelope freely.
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"route": self._on_route}
+
+            def _on_route(self, msg):
+                self._route_step(thaw_payload(msg.payload))
+
+            def _route_step(self, envelope):
+                if envelope["inner_kind"] == "insert":
+                    self._arrive_insert(envelope)
+
+            def _arrive_insert(self, envelope):
+                envelope["hops"] += 1
+        """,
+    )
+    assert analyze_aliasing(path).active == []
+
+
+def test_removing_the_thaw_reintroduces_the_finding(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"route": self._on_route}
+
+            def _on_route(self, msg):
+                self._route_step(msg.payload)
+
+            def _route_step(self, envelope):
+                envelope["hops"] += 1
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert [f.rule for f in result.active] == ["alias-payload-mutation"]
+    assert result.active[0].line == line_of(path, 'envelope["hops"] += 1')
+
+
+# ----------------------------------------------------------------------
+# Suppression and baseline round trips
+# ----------------------------------------------------------------------
+def test_repro_san_inline_suppression(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+                self._cache = {}
+
+            def _on_probe(self, msg):
+                # repro-san: ignore[alias-payload-retention] ttl is an int
+                self._cache[msg.src] = msg.payload["ttl"]
+        """,
+    )
+    result = analyze_aliasing(path)
+    assert result.active == []
+    assert [f.rule for f in result.suppressed] == ["alias-payload-retention"]
+
+
+def test_baseline_round_trip(tmp_path):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+                self._cache = {}
+
+            def _on_probe(self, msg):
+                self._cache[msg.src] = msg.payload["ttl"]
+        """,
+    )
+    first = analyze_aliasing(path)
+    assert len(first.active) == 1
+    entry = {"key": first.active[0].key, "reason": "ttl is an int, not a container"}
+
+    second = analyze_aliasing(path, baseline=[entry])
+    assert second.ok
+    assert second.active == []
+    assert [f.key for f in second.accepted] == [entry["key"]]
+
+
+# ----------------------------------------------------------------------
+# CLI selectors
+# ----------------------------------------------------------------------
+def test_cli_only_aliasing_json_output(tmp_path, capsys):
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+
+            def _on_probe(self, msg):
+                msg.payload["ttl"] = 0
+        """,
+    )
+    exit_code = main(["--only", "aliasing", "--format", "json", str(path)])
+    out = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert out["ok"] is False
+    assert [f["rule"] for f in out["findings"]] == ["alias-payload-mutation"]
+    finding = out["findings"][0]
+    assert finding["line"] == line_of(path, 'msg.payload["ttl"] = 0')
+    assert finding["file"].endswith("fixture_mod.py")
+    assert set(finding) >= {"rule", "file", "line", "message", "context", "key"}
+
+
+def test_cli_only_selects_a_single_lint(tmp_path, capsys):
+    # The fixture has an aliasing finding but no determinism finding, so
+    # --only determinism must come back clean.
+    path = write_fixture(
+        tmp_path,
+        """
+        class Node:
+            def __init__(self):
+                self._handlers = {"probe": self._on_probe}
+
+            def _on_probe(self, msg):
+                msg.payload["ttl"] = 0
+        """,
+    )
+    assert main(["--only", "determinism", "--no-coverage", str(path)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_json_clean_tree_exits_zero(capsys):
+    exit_code = main(["--only", "aliasing", "--format", "json", str(REPRO_PKG)])
+    out = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert out["ok"] is True
+    assert out["findings"] == []
+
+
+def test_unknown_lint_selection_raises():
+    with pytest.raises(ValueError):
+        analyze_paths([str(REPRO_PKG / "net" / "message.py")], lints=("bogus",))
