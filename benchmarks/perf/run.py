@@ -3,7 +3,11 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run.py [--records N] [--queries Q]
-                                                 [--output PATH]
+                                                 [--output PATH] [--scale]
+
+``--scale`` additionally runs the 1000-node/1M-record scale tier
+(minutes of wall clock; ``--scale-nodes``/``--scale-records`` downsize
+it) and gates on its wall-clock budget and completion fraction.
 
 Exits non-zero (loudly) if the vectorized path is slower than the scalar
 fallback on the query-scan microbenchmark — the core regression guard —
@@ -37,7 +41,25 @@ def main(argv=None) -> int:
                         help="queries for the scan/workload benches")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_PERF.json")
+    parser.add_argument("--scale", action="store_true",
+                        help="also run the 1000-node/1M-record scale tier "
+                             "(several minutes of wall clock)")
+    parser.add_argument("--scale-nodes", type=int, default=1000)
+    parser.add_argument("--scale-records", type=int, default=1_000_000)
     args = parser.parse_args(argv)
+
+    # The scale tier times the full event kernel, so it must run with the
+    # modeled system cost only: refuse a baseline while either per-message
+    # harness (isolation copy/freeze, wire validation) is switched on.
+    # Checked before the unconditional set_validation(False) below so a
+    # validation-enabled environment is refused, not silently overridden.
+    if args.scale and protocol.validation_enabled():
+        print(
+            "protocol wire validation is ON; disable it for scale perf "
+            "runs — refusing to record a scale baseline",
+            file=sys.stderr,
+        )
+        return 1
 
     # A perf baseline recorded from a tree that fails static analysis is
     # poisoned: nondeterminism or protocol drift makes the numbers
@@ -77,6 +99,45 @@ def main(argv=None) -> int:
     # One-shot documentation bench (not a gate): what copy-on-deliver
     # would cost per message if isolation were left on.
     isolation_overhead = bench_isolation_overhead(make_records(256, args.seed))
+
+    # The scale tier is opt-in (minutes of wall clock); when it is not
+    # re-run, carry the previously recorded block forward so a quick
+    # microbench refresh never silently drops the scale baseline.
+    scale = None
+    if args.scale:
+        # The scale tier runs in a fresh interpreter.  The microbench
+        # suite above allocates and frees gigabytes; timing the event
+        # kernel afterwards inside that fragmented heap measurably skews
+        # the wall clock, and ru_maxrss would report the microbenches'
+        # high-water mark instead of the kernel's.
+        import os
+        import subprocess
+
+        env = dict(os.environ)
+        path_parts = [str(REPO_ROOT), str(REPO_ROOT / "src")]
+        if env.get("PYTHONPATH"):
+            path_parts.append(env["PYTHONPATH"])
+        env["PYTHONPATH"] = os.pathsep.join(path_parts)
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "benchmarks.perf.scale_bench",
+                "--nodes", str(args.scale_nodes),
+                "--records", str(args.scale_records),
+                "--seed", str(args.seed),
+            ],
+            cwd=str(REPO_ROOT), env=env, capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            print("scale tier subprocess failed", file=sys.stderr)
+            return 1
+        scale = json.loads(proc.stdout)
+    elif args.output.exists():
+        try:
+            scale = json.loads(args.output.read_text()).get("scale")
+        except (ValueError, OSError):
+            scale = None
+
     payload = {
         "meta": {
             "records": args.records,
@@ -89,6 +150,8 @@ def main(argv=None) -> int:
         "failure_handling": failure_handling,
         "isolation_overhead": isolation_overhead,
     }
+    if scale is not None:
+        payload["scale"] = scale
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"wrote {args.output}")
@@ -128,6 +191,31 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.scale:
+        print(
+            f"  scale tier: {scale['nodes']} nodes, {scale['records']:,} records"
+            f"  wall {scale['wall_s']:.0f}s"
+            f"  events/s {scale['events_per_s']:,.0f}"
+            f"  messages/s {scale['messages_per_s']:,.0f}"
+            f"  peak RSS {scale['peak_rss_mb']:.0f} MB"
+        )
+        # Regression gates for the full-size tier only: a downsized
+        # --scale-records smoke run finishes fast regardless, and its
+        # wall clock says nothing about the 10^6-record budget.
+        if args.scale_records >= 1_000_000 and scale["wall_s"] >= 300.0:
+            print(
+                "PERF REGRESSION: the 1M-record scale run took "
+                f"{scale['wall_s']:.0f}s (budget 300s)",
+                file=sys.stderr,
+            )
+            return 1
+        if scale["complete_fraction"] is not None and scale["complete_fraction"] < 0.999:
+            print(
+                "SCALE REGRESSION: inserts failed to complete "
+                f"({scale['complete_fraction']:.1%})",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

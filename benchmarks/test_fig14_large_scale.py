@@ -13,6 +13,8 @@ rate, and the same latency/hop/query-cost statistics.
 
 import random
 
+import pytest
+
 from benchmarks.helpers import planetlab_calibration, run_once
 
 from repro.bench.stats import cdf_points, format_table, summarize
@@ -118,3 +120,45 @@ def test_fig14_large_scale(benchmark):
         # worst case moves a little between runs; it stays a small
         # fraction of the 102-node overlay.
         assert max(costs) <= 35
+
+
+# ----------------------------------------------------------------------
+# The 1000-node / 1M-record parameterization (ROADMAP item 1).  Marked
+# ``scale`` — several minutes of wall clock each — so neither tier-1 nor
+# a default benchmark run picks them up; run with ``-m scale``.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.scale
+def test_fig14_scale_thousand_nodes():
+    """Clean 1000-node / 1M-record run: the wall-clock budget gate."""
+    from benchmarks.perf.scale_bench import run_scale_scenario
+
+    m = run_scale_scenario(nodes=1000, records=1_000_000)
+    print(
+        f"\nFigure 14 at scale — {m['nodes']} nodes, {m['records']:,} records: "
+        f"wall {m['wall_s']:.0f}s, {m['events_per_s']:,.0f} events/s, "
+        f"{m['messages_per_s']:,.0f} messages/s, peak RSS {m['peak_rss_mb']:.0f} MB"
+    )
+    assert m["complete_fraction"] >= 0.999, m
+    assert m["latency_median_s"] < 1.5, m
+    # log2(1000)-ish greedy paths; the mean stays well under the diameter.
+    assert m["mean_hops"] < 9, m
+    assert m["wall_s"] < 300.0, f"1M-record run blew the 5-minute budget: {m['wall_s']:.0f}s"
+
+
+@pytest.mark.scale
+def test_fig14_scale_thousand_nodes_churn():
+    """Churn harness at 1000 nodes (>= 700 live), million-record load."""
+    from benchmarks.perf.scale_bench import run_scale_scenario
+
+    m = run_scale_scenario(
+        nodes=1000, records=1_000_000, replication=1, churn_min_live=700
+    )
+    print(
+        f"\nFigure 14 at scale with churn — completed {m['complete_fraction']:.1%}, "
+        f"median latency {m['latency_median_s']:.2f}s, wall {m['wall_s']:.0f}s"
+    )
+    # Inserts racing crashes can fail; the vast majority must still land.
+    assert m["complete_fraction"] > 0.9, m
+    assert m["latency_median_s"] < 2.5, m

@@ -37,6 +37,9 @@ class ClusterConfig:
     record_link_delays: bool = False
     #: Per-link bound on retained delay samples (None = unbounded).
     link_delay_sample_cap: Optional[int] = 8192
+    #: Block size for vectorized network-latency jitter draws (0 = exact
+    #: per-message stdlib draws; the scale perf tier opts in).
+    latency_draw_block: int = 0
     #: Fraction of nodes that are pathologically slow (overloaded PlanetLab
     #: hosts) and their slowdown factor.
     slow_node_fraction: float = 0.08
@@ -49,9 +52,14 @@ class ClusterConfig:
 class MindCluster:
     """A deployed MIND system under simulation."""
 
-    def __init__(self, sites: Union[int, Sequence[Site]], config: Optional[ClusterConfig] = None) -> None:
+    def __init__(
+        self,
+        sites: Union[int, Sequence[Site]],
+        config: Optional[ClusterConfig] = None,
+        calendar_queue: bool = True,
+    ) -> None:
         self.config = config or ClusterConfig()
-        self.sim = Simulator(self.config.seed)
+        self.sim = Simulator(self.config.seed, calendar_queue=calendar_queue)
 
         if isinstance(sites, int):
             # Local-cluster deployment (the paper's robustness experiment):
@@ -69,6 +77,7 @@ class MindCluster:
             bandwidth_bps=self.config.bandwidth_bps,
             record_link_delays=self.config.record_link_delays,
             link_delay_sample_cap=self.config.link_delay_sample_cap,
+            draw_block=self.config.latency_draw_block,
         )
         speed_rng = self.sim.rng("cluster.speed")
         self.nodes: List[MindNode] = []

@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.cuts import strategy_from_wire
 from repro.core.query import NormRect, full_rect
 from repro.core.schema import IndexSchema
-from repro.overlay.code import Code
+from repro.overlay.code import Code, intern_code
 
 #: point_codes_batch packs the running code of each point into an int64;
 #: deeper descents fall back to the scalar per-point path.
@@ -43,6 +43,13 @@ class Embedding:
         self.strategy = strategy
         self.code_depth = code_depth
         self._split_cache: Dict[str, float] = {}
+        #: Integer mirror of the cut cache, one dict per level keyed by the
+        #: prefix's int value.  The per-record descent (``point_code``) hits
+        #: a cut cache once per level; int keys hash in constant time while
+        #: the string path rebuilds and re-hashes a fresh, growing prefix
+        #: string at every level.  Kept in sync by ``_split``/``preload``.
+        self._level_caches: List[Dict[int, float]] = []
+        self._dims = schema.dimensions
 
     # ------------------------------------------------------------------
     # Cut access
@@ -50,13 +57,21 @@ class Embedding:
     def _split(self, prefix_bits: str, rect: NormRect) -> float:
         split = self._split_cache.get(prefix_bits)
         if split is None:
-            dim = len(prefix_bits) % self.schema.dimensions
+            dim = len(prefix_bits) % self._dims
             split = self.strategy.split(rect, dim)
             lo, hi = rect[dim]
             if not lo < split < hi:
                 split = (lo + hi) / 2.0
             self._split_cache[prefix_bits] = split
+            self._mirror_split(prefix_bits, split)
         return split
+
+    def _mirror_split(self, prefix_bits: str, split: float) -> None:
+        level = len(prefix_bits)
+        caches = self._level_caches
+        while len(caches) <= level:
+            caches.append({})
+        caches[level][int(prefix_bits, 2) if prefix_bits else 0] = split
 
     @staticmethod
     def _narrow(rect: NormRect, dim: int, split: float, bit: str) -> NormRect:
@@ -68,18 +83,57 @@ class Embedding:
     # Points
     # ------------------------------------------------------------------
     def point_code(self, values: Sequence[float], depth: Optional[int] = None) -> Code:
-        """The code of a raw-valued point, descended to ``depth`` bits."""
+        """The code of a raw-valued point, descended to ``depth`` bits.
+
+        The steady-state descent (every cut already memoized — true for
+        all but the first record reaching each tree node) is a cache
+        lookup and a comparison per level; rectangle narrowing happens
+        only on a cache miss, by replaying the descent to the missing
+        prefix.
+        """
         depth = self.code_depth if depth is None else depth
         point = self.schema.normalize(values)
-        rect = full_rect(self.schema.dimensions)
-        bits = []
-        for level in range(depth):
-            dim = level % self.schema.dimensions
-            split = self._split("".join(bits), rect)
-            bit = "1" if point[dim] >= split else "0"
-            bits.append(bit)
+        dims = self._dims
+        caches = self._level_caches
+        known = len(caches)
+        code_int = 0
+        level = 0
+        # Warm path: walk the int-mirrored cuts with no rectangle (or even
+        # prefix-string) bookkeeping — int keys, one shift per level.
+        while level < depth and level < known:
+            split = caches[level].get(code_int)
+            if split is None:
+                break
+            code_int = (code_int << 1) | (point[level % dims] >= split)
+            level += 1
+        if level == depth:
+            # Depth-limited prefixes recur constantly (every record of a
+            # region maps to its owner's code); interning skips re-parsing.
+            return intern_code(format(code_int, "0%db" % depth) if depth else "")
+        prefix = format(code_int, "0%db" % level) if level else ""
+        if level < depth:
+            # Cache misses are suffix-closed (an unseen prefix implies its
+            # extensions are unseen too), so rebuild the rectangle once and
+            # descend narrowing it the rest of the way.
+            rect = self._rect_for_prefix(prefix)
+            while level < depth:
+                dim = level % dims
+                split = self._split(prefix, rect)
+                bit = "1" if point[dim] >= split else "0"
+                prefix += bit
+                rect = self._narrow(rect, dim, split, bit)
+                level += 1
+        return intern_code(prefix)
+
+    def _rect_for_prefix(self, prefix: str) -> NormRect:
+        """Replay the descent to ``prefix``'s rectangle (cache-miss path)."""
+        dims = self._dims
+        rect = full_rect(dims)
+        for level, bit in enumerate(prefix):
+            dim = level % dims
+            split = self._split(prefix[:level], rect)
             rect = self._narrow(rect, dim, split, bit)
-        return Code("".join(bits))
+        return rect
 
     def point_codes_batch(self, values, depth: Optional[int] = None) -> List[Code]:
         """Codes for many raw-valued points at once.
@@ -134,6 +188,8 @@ class Embedding:
     def preload_splits(self, cuts: Dict[str, float]) -> None:
         """Seed the memoized cut cache (e.g. from ``derive_cut_tree``)."""
         self._split_cache.update(cuts)
+        for prefix_bits, split in cuts.items():
+            self._mirror_split(prefix_bits, split)
 
     # ------------------------------------------------------------------
     # Regions

@@ -179,6 +179,11 @@ class MindNode(OverlayNode):
         self.records_stored = 0
         self.replicas_stored = 0
         self.triggers_fired = 0
+        #: Replica destination memo: the addresses depend only on the
+        #: link set, own code, and replication degree — not on the record
+        #: — so the per-stored-record scan is cached on the links() key.
+        self._replica_dests_key: Optional[Tuple] = None
+        self._replica_dests: List[str] = []
 
     # ==================================================================
     # Message plumbing
@@ -602,21 +607,28 @@ class MindNode(OverlayNode):
     def _replicate(self, state: IndexState, record: Record) -> None:
         if state.replication == 0 or self.code is None or len(self.code) == 0:
             return
-        targets = replica_targets(self.code, state.replication)
         links = self.links()
+        key = (self._links_key, self.code, state.replication)
+        if key != self._replica_dests_key:
+            targets = replica_targets(self.code, state.replication)
+            dests: List[str] = []
+            sent: Set[str] = set()
+            for target in targets:
+                for addr, code in links:
+                    if code.comparable(target) and addr not in sent:
+                        sent.add(addr)
+                        dests.append(addr)
+            self._replica_dests_key = key
+            self._replica_dests = dests
         wire = {"index": state.schema.name, "record": record.to_wire()}
-        sent: Set[str] = set()
-        for target in targets:
-            for addr, code in links:
-                if code.comparable(target) and addr not in sent:
-                    sent.add(addr)
-                    self._send(
-                        addr,
-                        "replica_store",
-                        wire,
-                        size_bytes=self.mind_config.record_wire_bytes,
-                        tuples=1,
-                    )
+        for addr in self._replica_dests:
+            self._send(
+                addr,
+                "replica_store",
+                wire,
+                size_bytes=self.mind_config.record_wire_bytes,
+                tuples=1,
+            )
 
     def _on_replica_store(self, msg: Message) -> None:
         state = self.indices.get(msg.payload["index"])

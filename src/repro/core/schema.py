@@ -119,11 +119,12 @@ class IndexSchema:
 
     def normalize(self, values: Sequence[float]) -> Tuple[float, ...]:
         """Normalize a full coordinate vector into [0, 1)^k."""
-        if len(values) != self.dimensions:
+        attrs = self.attributes
+        if len(values) != len(attrs):
             raise ValueError(
-                f"index {self.name} expects {self.dimensions} values, got {len(values)}"
+                f"index {self.name} expects {len(attrs)} values, got {len(values)}"
             )
-        return tuple(attr.normalize(v) for attr, v in zip(self.attributes, values))
+        return tuple(attr.normalize(v) for attr, v in zip(attrs, values))
 
     def normalize_batch(self, values) -> np.ndarray:
         """Normalize many coordinate vectors at once.

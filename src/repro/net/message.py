@@ -193,7 +193,7 @@ def thaw_payload(value: Any) -> Any:
     return value
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single overlay message.
 

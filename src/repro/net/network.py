@@ -9,6 +9,26 @@ state injected by :class:`~repro.net.failures.FailureInjector`.
 Semantics mirror TCP as the paper's prototype used it: if the link or the
 destination is down the sender's ``on_fail`` callback fires after a
 detection delay, letting overlay code run its reconnect/re-route logic.
+
+Scaling design
+--------------
+``_transmit``/``_deliver`` are the hottest per-message functions of every
+experiment, so the bookkeeping is laid out for the 1k-node regime:
+
+* **Array-backed link accounting.**  Each directed link is interned once
+  into an integer id (``src -> dst -> id`` nested dicts, no per-send tuple
+  key allocation); messages/bytes/tuples/busy-until live in flat lists
+  indexed by that id.  The public :attr:`link_stats` mapping of
+  :class:`LinkStats` objects is materialized on demand — experiment
+  read-out, not the send path.
+* **One-lookup liveness.**  ``_up_endpoints`` holds exactly the endpoints
+  that are registered *and* up, so the no-failure path does a single dict
+  probe per side instead of separate registration and liveness checks,
+  and the link-down check short-circuits on the (empty) outage table.
+* **Churn hygiene.**  :meth:`unregister` prunes every per-link entry
+  touching the departed address (busy state, outage state, accounting) so
+  long churn runs don't accumulate state for dead links; pass
+  ``retain_stats=True`` to keep the accounting for post-run reporting.
 """
 
 from dataclasses import dataclass, field
@@ -22,6 +42,39 @@ from repro.sim.kernel import Simulator
 
 DeliverFn = Callable[[Message], None]
 FailFn = Callable[[Message, str], None]
+
+
+def decimate_step(
+    samples: List[Tuple[float, float]],
+    stride: int,
+    phase: int,
+    cap: Optional[int],
+    time: float,
+    delay: float,
+) -> Tuple[int, int]:
+    """Advance the stride-decimation sampler by one send.
+
+    Records ``(time, delay)`` when the sampler's phase comes due; when the
+    buffer reaches ``cap`` it is thinned to every other sample and the
+    stride doubles.  Returns the new ``(stride, phase)``.
+
+    The phase is realigned on every stride doubling so retained samples
+    keep the even-spacing contract the Figure 8/12 plots assume: the next
+    recorded send lands exactly one *new* stride after the last retained
+    sample.  (Without realignment the sample following a doubling drifts
+    off-grid — the pre-fix behavior.)
+    """
+    if phase == 0:
+        samples.append((time, delay))
+        if cap is not None and len(samples) >= cap:
+            # Whether the just-appended sample survives the thinning
+            # decides where the next on-grid sample falls: it survives
+            # exactly when its index (len-1) is even.
+            last_kept = len(samples) % 2 == 1
+            del samples[1::2]
+            phase = 0 if last_kept else stride
+            stride *= 2
+    return stride, (phase + 1) % stride
 
 
 @dataclass
@@ -48,12 +101,14 @@ class LinkStats:
         8 and 12 plot delay versus time), unlike reservoir sampling which
         would scramble ordering guarantees for the same bound.
         """
-        if self._delay_phase == 0:
-            self.delay_samples.append((time, delay))
-            if cap is not None and len(self.delay_samples) >= cap:
-                del self.delay_samples[1::2]
-                self.delay_sample_stride *= 2
-        self._delay_phase = (self._delay_phase + 1) % self.delay_sample_stride
+        self.delay_sample_stride, self._delay_phase = decimate_step(
+            self.delay_samples,
+            self.delay_sample_stride,
+            self._delay_phase,
+            cap,
+            time,
+            delay,
+        )
 
 
 class SimNetwork:
@@ -90,11 +145,14 @@ class SimNetwork:
         fail_detect_s: float = 1.0,
         record_link_delays: bool = False,
         link_delay_sample_cap: Optional[int] = 8192,
+        draw_block: int = 0,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth_bps must be positive")
         if link_delay_sample_cap is not None and link_delay_sample_cap < 2:
             raise ValueError("link_delay_sample_cap must be >= 2 (or None)")
+        if draw_block < 0:
+            raise ValueError("draw_block must be >= 0")
         self.sim = sim
         self.sites = dict(sites)
         self.latency = latency_model or LatencyModel()
@@ -105,10 +163,43 @@ class SimNetwork:
 
         self._endpoints: Dict[str, DeliverFn] = {}
         self._node_up: Dict[str, bool] = {}
+        #: Endpoints that are registered *and* up — the one-probe liveness
+        #: lookup of the transmit/deliver fast paths.
+        self._up_endpoints: Dict[str, DeliverFn] = {}
         self._link_down_until: Dict[Tuple[str, str], float] = {}
-        self._link_busy_until: Dict[Tuple[str, str], float] = {}
-        self.link_stats: Dict[Tuple[str, str], LinkStats] = {}
+
+        # Array-backed per-link accounting, indexed by interned link id.
+        self._link_ids: Dict[str, Dict[str, int]] = {}
+        self._link_key: List[Optional[Tuple[str, str]]] = []
+        self._free_ids: List[int] = []
+        self._lk_busy_until: List[float] = []
+        self._lk_messages: List[int] = []
+        self._lk_bytes: List[int] = []
+        self._lk_tuples: List[int] = []
+        self._lk_samples: List[Optional[List[Tuple[float, float]]]] = []
+        self._lk_stride: List[int] = []
+        self._lk_phase: List[int] = []
+        #: Deterministic latency class per link id: propagation seconds
+        #: for a WAN pair, -1.0 for the LAN fallback, -2.0 unclassified.
+        #: A link's class never changes while its id is bound (sites are
+        #: fixed at construction), so the per-message site lookups and
+        #: pair-key hashing collapse to one float read.
+        self._lk_prop: List[float] = []
+
         self._rng = sim.rng("net.latency")
+        #: Block-drawn per-message jitters (opt-in, ``draw_block`` > 0).
+        #: The stdlib ``lognormvariate`` costs a Python-level rejection
+        #: loop per draw; a vectorized block amortizes it to a list pop.
+        #: Same distributions, different (still deterministic) stream —
+        #: default off, so seeded experiments keep their exact draws.
+        self._draw_block = draw_block
+        self._jit_buf: List[float] = []
+        self._uni_buf: List[float] = []
+        self._np_gen = None
+        if draw_block:
+            import numpy as _np
+
+            self._np_gen = _np.random.default_rng(self._rng.randrange(2**63))
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_failed = 0
@@ -122,15 +213,54 @@ class SimNetwork:
             raise ValueError(f"address already registered: {address}")
         self._endpoints[address] = deliver
         self._node_up[address] = True
+        self._up_endpoints[address] = deliver
 
-    def unregister(self, address: str) -> None:
+    def unregister(self, address: str, retain_stats: bool = False) -> None:
+        """Detach an endpoint and prune its per-link state.
+
+        Every link touching ``address`` (either direction) releases its
+        outage and busy-until state; the traffic accounting is released
+        too unless ``retain_stats=True`` keeps it for post-run reporting.
+        Without pruning, 1k-node churn accumulates link state for every
+        pairing a departed node ever had — unbounded over a long run.
+        """
         self._endpoints.pop(address, None)
         self._node_up.pop(address, None)
+        self._up_endpoints.pop(address, None)
+        if self._link_down_until:
+            stale = [key for key in self._link_down_until if address in key]
+            for key in stale:
+                del self._link_down_until[key]
+        out = self._link_ids.get(address)
+        incoming = [
+            (by_dst, address)
+            for src, by_dst in self._link_ids.items()
+            if src != address and address in by_dst
+        ]
+        if retain_stats:
+            # Keep the accounting; transient transmission state still
+            # resets so a re-registered address starts with idle links.
+            if out:
+                for link_id in out.values():
+                    self._lk_busy_until[link_id] = 0.0
+            for by_dst, dst in incoming:
+                self._lk_busy_until[by_dst[dst]] = 0.0
+            return
+        if out:
+            del self._link_ids[address]
+            for link_id in out.values():
+                self._release_link(link_id)
+        for by_dst, dst in incoming:
+            self._release_link(by_dst.pop(dst))
 
     def set_node_up(self, address: str, up: bool) -> None:
         if address not in self._endpoints:
             raise KeyError(f"unknown address: {address}")
         self._node_up[address] = up
+        if up:
+            self._up_endpoints[address] = self._endpoints[address]
+        else:
+            self._up_endpoints.pop(address, None)
 
     def is_node_up(self, address: str) -> bool:
         return self._node_up.get(address, False)
@@ -146,6 +276,68 @@ class SimNetwork:
 
     def is_link_up(self, src: str, dst: str) -> bool:
         return self._link_down_until.get((src, dst), 0.0) <= self.sim.now
+
+    # ------------------------------------------------------------------
+    # Link interning
+    # ------------------------------------------------------------------
+    def _link_id(self, src: str, dst: str) -> int:
+        by_dst = self._link_ids.get(src)
+        if by_dst is None:
+            by_dst = self._link_ids[src] = {}
+        link_id = by_dst.get(dst)
+        if link_id is None:
+            if self._free_ids:
+                link_id = self._free_ids.pop()
+                self._link_key[link_id] = (src, dst)
+            else:
+                link_id = len(self._link_key)
+                self._link_key.append((src, dst))
+                self._lk_busy_until.append(0.0)
+                self._lk_messages.append(0)
+                self._lk_bytes.append(0)
+                self._lk_tuples.append(0)
+                self._lk_samples.append(None)
+                self._lk_stride.append(1)
+                self._lk_phase.append(0)
+                self._lk_prop.append(-2.0)
+            by_dst[dst] = link_id
+        return link_id
+
+    def _release_link(self, link_id: int) -> None:
+        self._link_key[link_id] = None
+        self._lk_busy_until[link_id] = 0.0
+        self._lk_messages[link_id] = 0
+        self._lk_bytes[link_id] = 0
+        self._lk_tuples[link_id] = 0
+        self._lk_samples[link_id] = None
+        self._lk_stride[link_id] = 1
+        self._lk_phase[link_id] = 0
+        self._lk_prop[link_id] = -2.0
+        self._free_ids.append(link_id)
+
+    @property
+    def link_stats(self) -> Dict[Tuple[str, str], LinkStats]:
+        """Per-link traffic accounting as :class:`LinkStats` snapshots.
+
+        Materialized from the array-backed accounting on access — an
+        experiment read-out API, not part of the send path.  Snapshots
+        share the live ``delay_samples`` list, so accessing this property
+        mid-run shows samples accumulate, like the pre-array behavior.
+        """
+        out: Dict[Tuple[str, str], LinkStats] = {}
+        for by_dst in self._link_ids.values():
+            for link_id in by_dst.values():
+                key = self._link_key[link_id]
+                samples = self._lk_samples[link_id]
+                out[key] = LinkStats(
+                    tuples=self._lk_tuples[link_id],
+                    messages=self._lk_messages[link_id],
+                    bytes=self._lk_bytes[link_id],
+                    delay_samples=samples if samples is not None else [],
+                    delay_sample_stride=self._lk_stride[link_id],
+                    _delay_phase=self._lk_phase[link_id],
+                )
+        return out
 
     # ------------------------------------------------------------------
     # Sending
@@ -189,57 +381,130 @@ class SimNetwork:
         src, dst = msg.src, msg.dst
         self.messages_sent += 1
 
-        if not self._node_up.get(src, False):
+        up = self._up_endpoints
+        if src not in up:
             # A crashed node cannot send; drop silently (its callbacks are
             # dead anyway once the node object ignores deliveries).
             self.messages_failed += 1
             return msg
-
-        if dst not in self._endpoints:
-            self._fail(msg, "unknown-destination", on_fail)
+        if dst not in up:
+            # Failure triage in the pre-scale order: unknown destination
+            # first, then link outage, then crashed peer.
+            if dst not in self._endpoints:
+                self._fail(msg, "unknown-destination", on_fail)
+            elif not self.is_link_up(src, dst):
+                self._fail(msg, "link-down", on_fail)
+            else:
+                self._fail(msg, "peer-down", on_fail)
             return msg
-        if not self.is_link_up(src, dst):
+        if self._link_down_until and not self.is_link_up(src, dst):
             self._fail(msg, "link-down", on_fail)
             return msg
-        if not self._node_up.get(dst, False):
-            self._fail(msg, "peer-down", on_fail)
-            return msg
 
-        key = (src, dst)
+        by_dst = self._link_ids.get(src)
+        link_id = by_dst.get(dst) if by_dst is not None else None
+        if link_id is None:
+            link_id = self._link_id(src, dst)
         now = self.sim.now
-        transmission = msg.wire_size * 8.0 / self.bandwidth_bps
-        start = max(now, self._link_busy_until.get(key, 0.0))
-        self._link_busy_until[key] = start + transmission
-        latency = self._one_way(src, dst)
+        wire = msg.wire_size
+        transmission = wire * 8.0 / self.bandwidth_bps
+        busy = self._lk_busy_until
+        start = busy[link_id]
+        if start < now:
+            start = now
+        busy[link_id] = start + transmission
+        # Inlined _one_way: the link's latency class is interned with its
+        # id, leaving only the per-message jitter draws (same arithmetic,
+        # same RNG draw order as LatencyModel.one_way_s).
+        prop = self._lk_prop[link_id]
+        if prop == -2.0:
+            prop = self._lk_prop[link_id] = self._classify_link(src, dst)
+        rng = self._rng
+        if self._draw_block:
+            ubuf = self._uni_buf
+            u = ubuf.pop() if ubuf else self._refill_uniform()
+            if prop >= 0.0:
+                model = self.latency
+                jbuf = self._jit_buf
+                jitter = jbuf.pop() if jbuf else self._refill_jitter()
+                latency = model.base_s + prop * jitter
+                if u < model.pathology_prob:
+                    latency += model.pathology_scale_s * rng.paretovariate(
+                        model.pathology_alpha
+                    )
+            else:
+                latency = 0.0005 + u * 0.0005
+        elif prop >= 0.0:
+            model = self.latency
+            latency = model.base_s + prop * rng.lognormvariate(0.0, model.jitter_sigma)
+            if rng.random() < model.pathology_prob:
+                latency += model.pathology_scale_s * rng.paretovariate(model.pathology_alpha)
+        else:
+            latency = 0.0005 + rng.random() * 0.0005
         delivery_time = start + transmission + latency
 
-        stats = self.link_stats.get(key)
-        if stats is None:
-            stats = LinkStats()
-            self.link_stats[key] = stats
-        stats.messages += 1
-        stats.bytes += msg.wire_size
-        stats.tuples += tuples
+        self._lk_messages[link_id] += 1
+        self._lk_bytes[link_id] += wire
+        self._lk_tuples[link_id] += tuples
         if self.record_link_delays:
-            stats.record_delay(now, delivery_time - now, self.link_delay_sample_cap)
+            samples = self._lk_samples[link_id]
+            if samples is None:
+                samples = self._lk_samples[link_id] = []
+            self._lk_stride[link_id], self._lk_phase[link_id] = decimate_step(
+                samples,
+                self._lk_stride[link_id],
+                self._lk_phase[link_id],
+                self.link_delay_sample_cap,
+                now,
+                delivery_time - now,
+            )
 
-        self.sim.schedule_at(delivery_time, self._deliver, msg, on_fail)
+        self.sim.push_at(delivery_time, self._deliver, (msg, on_fail))
         return msg
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _refill_jitter(self) -> float:
+        buf = self._np_gen.lognormal(0.0, self.latency.jitter_sigma, self._draw_block).tolist()
+        last = buf.pop()
+        self._jit_buf = buf
+        return last
+
+    def _refill_uniform(self) -> float:
+        buf = self._np_gen.random(self._draw_block).tolist()
+        last = buf.pop()
+        self._uni_buf = buf
+        return last
+
+    def _classify_link(self, src: str, dst: str) -> float:
+        """Deterministic latency class of a directed link (memoized per id).
+
+        Returns the WAN propagation delay in seconds, or -1.0 for the
+        co-located/LAN fallback (small fixed-range delay per message).
+        """
+        sites = self.sites
+        if sites:
+            site_a = sites.get(src)
+            site_b = sites.get(dst)
+            if site_a is not None and site_b is not None and site_a is not site_b:
+                return self.latency.propagation_s(site_a, site_b)
+        return -1.0
+
     def _one_way(self, src: str, dst: str) -> float:
-        site_a = self.sites.get(src)
-        site_b = self.sites.get(dst)
-        if site_a is None or site_b is None or site_a is site_b:
-            # Co-located processes (robustness experiment on a local
-            # cluster): small LAN-ish delay.
-            return 0.0005 + self._rng.random() * 0.0005
-        return self.latency.one_way_s(site_a, site_b, self._rng)
+        sites = self.sites
+        if sites:
+            site_a = sites.get(src)
+            site_b = sites.get(dst)
+            if site_a is not None and site_b is not None and site_a is not site_b:
+                return self.latency.one_way_s(site_a, site_b, self._rng)
+        # Co-located processes (robustness experiment on a local
+        # cluster): small LAN-ish delay.
+        return 0.0005 + self._rng.random() * 0.0005
 
     def _deliver(self, msg: Message, on_fail: Optional[FailFn]) -> None:
-        if not self._node_up.get(msg.dst, False) or msg.dst not in self._endpoints:
+        deliver = self._up_endpoints.get(msg.dst)
+        if deliver is None:
             self._fail(msg, "peer-down", on_fail, immediate=True)
             return
         self.messages_delivered += 1
@@ -250,7 +515,7 @@ class SimNetwork:
             # payload cannot alias the sender's objects (and, at the
             # ``freeze`` level, raises on any mutation attempt).
             msg = msg.clone(level=level)
-        self._endpoints[msg.dst](msg)
+        deliver(msg)
 
     def _fail(self, msg: Message, reason: str, on_fail: Optional[FailFn], immediate: bool = False) -> None:
         self.messages_failed += 1

@@ -19,12 +19,17 @@ class Code:
     and hashable, so they can key dictionaries directly.
     """
 
-    __slots__ = ("bits",)
+    __slots__ = ("bits", "_num", "_len")
 
     def __init__(self, bits: str = "") -> None:
         if not set(bits) <= _VALID_BITS:
             raise ValueError(f"code must contain only 0/1, got {bits!r}")
         object.__setattr__(self, "bits", bits)
+        # Integer mirror of the bit string: prefix comparisons reduce to
+        # shift/xor on machine words instead of per-character Python loops
+        # — the hottest operation of greedy routing at scale.
+        object.__setattr__(self, "_num", int(bits, 2) if bits else 0)
+        object.__setattr__(self, "_len", len(bits))
 
     def __setattr__(self, name, value):  # noqa: D105 - immutability guard
         raise AttributeError("Code is immutable")
@@ -58,22 +63,32 @@ class Code:
     # -- prefix algebra --------------------------------------------------
     def is_prefix_of(self, other: "Code") -> bool:
         """True when ``self`` is a (non-strict) prefix of ``other``."""
-        return other.bits.startswith(self.bits)
+        my_len = self._len
+        other_len = other._len
+        return my_len <= other_len and (other._num >> (other_len - my_len)) == self._num
 
     def comparable(self, other: "Code") -> bool:
         """True when one code is a prefix of the other.
 
         Comparable codes denote nested trie subtrees; two *live* node codes
         are never comparable except when equal (prefix-free invariant).
+        Called on every routed hop, so the check runs on the integer
+        mirrors in one shot instead of two string ``startswith`` passes.
         """
-        return self.is_prefix_of(other) or other.is_prefix_of(self)
+        my_len = self._len
+        other_len = other._len
+        if my_len <= other_len:
+            return (other._num >> (other_len - my_len)) == self._num
+        return (self._num >> (my_len - other_len)) == other._num
 
     def common_prefix_len(self, other: "Code") -> int:
-        n = min(len(self.bits), len(other.bits))
-        for i in range(n):
-            if self.bits[i] != other.bits[i]:
-                return i
-        return n
+        my_len = self._len
+        other_len = other._len
+        n = my_len if my_len < other_len else other_len
+        if n == 0:
+            return 0
+        diff = (self._num >> (my_len - n)) ^ (other._num >> (other_len - n))
+        return n - diff.bit_length()
 
     def first_diff(self, other: "Code") -> int:
         """Index of the first differing bit; -1 when comparable."""
@@ -112,3 +127,18 @@ class Code:
         if not 0 <= length <= len(self.bits):
             raise ValueError(f"prefix length {length} out of range for {self!r}")
         return Code(self.bits[:length])
+
+
+#: Shared instances for the routing hot path.  Codes are immutable values,
+#: so per-hop reconstruction from wire bits is pure overhead; the universe
+#: of codes is bounded by the cut-tree depth (2^depth+1 strings), which
+#: keeps the cache small.
+_INTERNED: dict = {}
+
+
+def intern_code(bits: str) -> Code:
+    """A shared :class:`Code` for ``bits`` (validating on first sight)."""
+    code = _INTERNED.get(bits)
+    if code is None:
+        code = _INTERNED[bits] = Code(bits)
+    return code

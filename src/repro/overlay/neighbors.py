@@ -23,25 +23,44 @@ class NeighborTable:
     def __init__(self) -> None:
         self._peers: Dict[str, Code] = {}
         self._alive: Dict[str, bool] = {}
+        #: Bumped on every *effective* mutation; lets callers (the node's
+        #: ``links()`` cache) memoize derived neighbor views.  No-op
+        #: upserts — gossip re-announcing a peer we already know at the
+        #: same code and liveness — leave it unchanged.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def confirm_alive(self, address: str, bits: str) -> bool:
+        """Heartbeat fast path: is ``address`` already known with code
+        ``bits`` and alive?  True means the heartbeat is a pure no-op —
+        no :class:`Code` construction, no upsert, no version bump."""
+        cur = self._peers.get(address)
+        return cur is not None and cur.bits == bits and self._alive.get(address) is True
+
     def upsert(self, address: str, code: Code, alive: bool = True) -> None:
+        if self._peers.get(address) == code and self._alive.get(address) is alive:
+            return
         self._peers[address] = code
         self._alive[address] = alive
+        self.version += 1
 
     def remove(self, address: str) -> None:
-        self._peers.pop(address, None)
-        self._alive.pop(address, None)
+        if address in self._peers:
+            del self._peers[address]
+            self._alive.pop(address, None)
+            self.version += 1
 
     def mark_dead(self, address: str) -> None:
-        if address in self._alive:
+        if self._alive.get(address, False):
             self._alive[address] = False
+            self.version += 1
 
     def mark_alive(self, address: str) -> None:
-        if address in self._alive:
+        if address in self._alive and not self._alive[address]:
             self._alive[address] = True
+            self.version += 1
 
     # ------------------------------------------------------------------
     # Lookup

@@ -19,7 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.message import Message, thaw_payload
 from repro.net.network import SimNetwork
-from repro.overlay.code import Code
+from repro.overlay.code import Code, intern_code
 from repro.overlay.join import (
     HostJoinState,
     JoinerState,
@@ -28,7 +28,7 @@ from repro.overlay.join import (
     choose_split_host,
     host_priority,
 )
-from repro.overlay.routing import next_hop
+from repro.overlay.routing import RouteDecision, next_hop
 from repro.overlay.neighbors import NeighborTable
 from repro.sim.kernel import Simulator
 
@@ -44,6 +44,11 @@ class OverlayConfig:
 
     service_time_s: float = 0.0004
     service_jitter_sigma: float = 0.6
+    #: Block size for vectorized service-jitter draws (0 = per-message
+    #: stdlib draws).  Same log-normal distribution, different — still
+    #: deterministic — stream; default off so seeded experiments keep
+    #: their exact per-draw sequence.  The scale perf tier opts in.
+    service_draw_block: int = 0
     join_timeout_s: float = 8.0
     join_backoff_s: float = 1.0
     hb_interval_s: float = 10.0
@@ -54,6 +59,13 @@ class OverlayConfig:
     #: Routed messages die after this many hops (covers pathological
     #: bouncing between stale-coded nodes during recovery transients).
     route_ttl: int = 24
+    #: Heartbeat piggybacking: skip the periodic heartbeat to a neighbor
+    #: this node has sent *any* message within the window (every delivery
+    #: refreshes the receiver's liveness clock, so the data traffic itself
+    #: is the heartbeat).  ``None`` sends every heartbeat.  Suppression
+    #: also delays code-change announcements to active neighbors, so it is
+    #: meant for stable-topology runs (the scale perf tier), not churn.
+    hb_suppress_s: Optional[float] = None
     sibling_pointer_ttl_s: float = 3600.0
     adoption_delay_s: float = 5.0
     prune_tables: bool = True
@@ -94,6 +106,7 @@ class OverlayNode:
         self._join_round = 0
         self._cpu_busy_until = 0.0
         self._last_heard: Dict[str, float] = {}
+        self._last_sent: Dict[str, float] = {}
         self._hb_event = None
         self._ring_state: Dict[Any, Dict[str, Any]] = {}
         #: Per-node suppression of ring-probe floods: (op_id, origin) ->
@@ -106,6 +119,13 @@ class OverlayNode:
         #: unreachable report arrives.
         self._pending_adoptions: Dict[str, Any] = {}
         self._probe_seq = 0
+        #: ``links()`` memo: key -> computed link list.  ``links()`` is
+        #: called on every routed hop and recomputes hypercube neighbors
+        #: from codes; at 1k nodes that recomputation dominates the whole
+        #: simulation, while the inputs (neighbor table, code, adopted
+        #: regions) change only on joins/splits/liveness transitions.
+        self._links_key: Optional[Tuple[Any, ...]] = None
+        self._links_memo: List[Tuple[str, Code]] = []
 
         self.bootstrap_provider: Optional[Callable[[str], Optional[str]]] = None
         self.on_joined_callbacks: List[Callable[["OverlayNode"], None]] = []
@@ -116,6 +136,18 @@ class OverlayNode:
         self.takeovers = 0
 
         self._rng = sim.rng(f"overlay.{address}")
+        # Bound once: ``_deliver`` draws one service-jitter sample per
+        # delivered message, and the attribute chain is measurable there.
+        self._lognormvariate = self._rng.lognormvariate
+        #: Block-drawn service jitters (``None`` = per-message stdlib
+        #: draws; a list when ``config.service_draw_block`` opts in).
+        self._jitter_buf: Optional[List[float]] = None
+        self._np_service = None
+        if self.config.service_draw_block:
+            import numpy as _np
+
+            self._np_service = _np.random.default_rng(self._rng.randrange(2**63))
+            self._jitter_buf = []
         self._handlers: Dict[str, Callable[[Message], None]] = {
             "join_lookup": self._on_join_lookup,
             "join_neighborhood": self._on_join_neighborhood,
@@ -140,6 +172,16 @@ class OverlayNode:
             "adopt_probe_ack": self._on_adopt_probe_ack,
             "adopt_probe_dead": self._on_adopt_probe_dead,
         }
+        # Subclass handler table, resolved lazily on the first dispatch of
+        # a non-core kind — ``extra_handlers()`` builds a fresh dict of
+        # bound methods, far too expensive to redo per message.
+        self._extra_handlers_cache: Optional[Dict[str, Callable[[Message], None]]] = None
+        # Routing-decision memo, keyed by target bits and valid only for
+        # the link list it was computed against (identity-checked: links()
+        # returns a new list object whenever the link set changes).
+        self._route_memo: Dict[str, "RouteDecision"] = {}
+        self._route_memo_links: Optional[List[Tuple[str, Code]]] = None
+        self._route_memo_depth = 0
         network.register(address, self._deliver)
 
     # ==================================================================
@@ -205,12 +247,17 @@ class OverlayNode:
         self.active = False
         self.code = None
         self.neighbors = NeighborTable()
+        # A fresh table can reuse the old one's id(); drop the memo so the
+        # links() cache never matches across the crash.
+        self._links_key = None
+        self._links_memo = []
         self.adopted = set()
         self.sibling_pointer = None
         self._host_join = None
         self._pending_prepare = None
         self._joiner_state = None
         self._last_heard = {}
+        self._last_sent = {}
         self._ring_state = {}
         self._declared_dead = set()
         for event in self._pending_adoptions.values():
@@ -235,15 +282,36 @@ class OverlayNode:
     # Links and regions
     # ==================================================================
     def links(self, alive_only: bool = True) -> List[Tuple[str, Code]]:
-        """Current hypercube links for the primary code and adopted regions."""
+        """Current hypercube links for the primary code and adopted regions.
+
+        Memoized on ``(table identity+version, code, adopted, alive_only)``
+        so the per-hop call is a key comparison, not a hypercube
+        recomputation.  The returned list is shared with the memo and must
+        be treated as read-only.
+        """
         if self.code is None:
             return []
+        key = (
+            id(self.neighbors),
+            self.neighbors.version,
+            self.code,
+            frozenset(self.adopted) if self.adopted else (),
+            alive_only,
+        )
+        if key == self._links_key:
+            # Callers treat the link list as read-only (they iterate or
+            # re-derive), so the memo is shared rather than copied — the
+            # copy dominated the per-hop cost at cluster scale.
+            return self._links_memo
         seen: Dict[str, Code] = dict(self.neighbors.hypercube_neighbors(self.code, alive_only))
         for region in sorted(self.adopted):
             for addr, code in self.neighbors.hypercube_neighbors(region, alive_only):
                 seen[addr] = code
         seen.pop(self.address, None)
-        return list(seen.items())
+        links = list(seen.items())
+        self._links_key = key
+        self._links_memo = links
+        return links
 
     def covers(self, target: Code) -> bool:
         """Does this node own (part of) the region addressed by ``target``?"""
@@ -251,7 +319,12 @@ class OverlayNode:
             return False
         if self.code.comparable(target):
             return True
-        return any(region.comparable(target) for region in self.adopted)
+        adopted = self.adopted
+        if not adopted:
+            # Steady state: no adopted regions, and building the generator
+            # below costs more than the whole primary check.
+            return False
+        return any(region.comparable(target) for region in adopted)
 
     def match_len(self, target: Code) -> int:
         """Longest common prefix between the target and any owned region."""
@@ -275,32 +348,48 @@ class OverlayNode:
         on_fail=None,
     ) -> None:
         size = size_bytes if size_bytes is not None else self.config.control_msg_bytes
+        if self.config.hb_suppress_s is not None:
+            self._last_sent[dst] = self.sim.now
         self.network.send(self.address, dst, kind, payload, size_bytes=size, tuples=tuples, on_fail=on_fail)
 
     def _deliver(self, msg: Message) -> None:
         if not self.active:
             return
         start = max(self.sim.now, self._cpu_busy_until)
-        service = (
-            self.config.service_time_s
-            * self.speed_factor
-            * self._rng.lognormvariate(0.0, self.config.service_jitter_sigma)
-        )
+        buf = self._jitter_buf
+        if buf is None:
+            jitter = self._lognormvariate(0.0, self.config.service_jitter_sigma)
+        elif buf:
+            jitter = buf.pop()
+        else:
+            jitter = self._refill_service_jitter()
+        service = self.config.service_time_s * self.speed_factor * jitter
         self._cpu_busy_until = start + service
-        self.sim.schedule_at(self._cpu_busy_until, self._dispatch, msg)
+        self.sim.push_at(self._cpu_busy_until, self._dispatch, (msg,))
+
+    def _refill_service_jitter(self) -> float:
+        buf = self._np_service.lognormal(
+            0.0, self.config.service_jitter_sigma, self.config.service_draw_block
+        ).tolist()
+        last = buf.pop()
+        self._jitter_buf = buf
+        return last
 
     def _dispatch(self, msg: Message) -> None:
         if not self.active:
             return
         self.messages_processed += 1
         self._last_heard[msg.src] = self.sim.now
-        if msg.src in self._declared_dead:
+        if self._declared_dead and msg.src in self._declared_dead:
             # A peer we wrote off is talking again (it restarted or the
             # partition healed); let liveness re-learn it via joins.
             self._declared_dead.discard(msg.src)
         handler = self._handlers.get(msg.kind)
         if handler is None:
-            handler = self.extra_handlers().get(msg.kind)
+            extra = self._extra_handlers_cache
+            if extra is None:
+                extra = self._extra_handlers_cache = self.extra_handlers()
+            handler = extra.get(msg.kind)
         if handler is None:
             raise ValueError(f"{self.address}: no handler for message kind {msg.kind!r}")
         handler(msg)
@@ -588,33 +677,88 @@ class OverlayNode:
     def _on_route(self, msg: Message) -> None:
         # Copy-on-receive: the envelope advances (hops/path/exclude) at
         # every hop and may be retained in ``_ring_state``, so routing must
-        # work on a private deep copy, never the sender's object.
-        self._route_step(thaw_payload(msg.payload))
+        # work on a private copy, never the sender's object.  The envelope
+        # schema is closed (built only in route()), so copy exactly its
+        # mutable members — path and exclude — instead of a generic deep
+        # thaw of the whole envelope.  ``dict()``/``list()`` also accept
+        # the frozen views the message isolation sanitizer substitutes at
+        # the ``freeze`` level.  The application ``inner`` payload is the
+        # expensive part of a deep copy and routing never touches it, so
+        # its thaw is deferred to the terminal hop (``private_inner``):
+        # intermediate hops forward it by reference.
+        envelope = dict(msg.payload)
+        envelope["path"] = list(envelope["path"])
+        envelope["exclude"] = list(envelope["exclude"])
+        self._route_step(envelope, private_inner=False)
 
-    def _route_step(self, envelope: Dict[str, Any]) -> None:
+    def _route_step(self, envelope: Dict[str, Any], private_inner: bool = True) -> None:
+        """Advance one routing step.
+
+        ``private_inner`` records whether ``envelope['inner']`` is already
+        a private (or origin-owned) object; when ``False`` it still aliases
+        the in-flight message payload and must be thawed before anything
+        retains or consumes it — arrival, failure reporting, and ring
+        recovery below, each of which hands it to non-routing code.
+        """
         if not self.in_overlay():
             return
-        target = Code(envelope["target"])
+        target = intern_code(envelope["target"])
         if self.covers(target):
+            if not private_inner:
+                envelope["inner"] = thaw_payload(envelope["inner"])
             self.on_route_arrival(envelope)
             return
         if envelope["hops"] >= self.config.route_ttl:
+            if not private_inner:
+                envelope["inner"] = thaw_payload(envelope["inner"])
             self.on_route_failed(envelope, "ttl-exceeded")
             return
-        decision = next_hop(
-            self.code, target, self.links(), exclude=envelope["exclude"], visited=envelope["path"]
-        )
+        links = self.links()
+        exclude = envelope["exclude"]
+        path = envelope["path"]
+        if exclude:
+            decision = next_hop(self.code, target, links, exclude=exclude, visited=path)
+        else:
+            # Memoized greedy decision.  Computed ignoring ``visited``:
+            # when the global winner is not on the message's path the
+            # restricted (fresh-candidates-first) scan picks the same
+            # winner, so the memo is exact; otherwise fall back to the
+            # full scan.  ``visited`` never removes candidates — it only
+            # deprioritizes them — so a memoized "dead end" is a dead end
+            # for every message.
+            memo = self._route_memo
+            if links is not self._route_memo_links:
+                memo.clear()
+                self._route_memo_links = links
+                # Every prefix comparison in next_hop is capped by the
+                # shorter operand, so targets agreeing on the first
+                # ``depth`` bits are indistinguishable to the scan — key
+                # the memo on that prefix, not the full target.
+                depth = self.code._len
+                for _, c in links:
+                    if c._len > depth:
+                        depth = c._len
+                self._route_memo_depth = depth
+            key = envelope["target"][: self._route_memo_depth]
+            decision = memo.get(key)
+            if decision is None:
+                decision = next_hop(self.code, target, links)
+                memo[key] = decision
+            if decision.next_hop is not None and decision.next_hop in path:
+                decision = next_hop(self.code, target, links, visited=path)
         if decision.next_hop is None:
+            if not private_inner:
+                envelope["inner"] = thaw_payload(envelope["inner"])
             self._start_ring_recovery(envelope)
             return
-        self._forward(envelope, decision.next_hop)
+        self._forward(envelope, decision.next_hop, private_inner)
 
-    def _forward(self, envelope: Dict[str, Any], nxt: str) -> None:
+    def _forward(self, envelope: Dict[str, Any], nxt: str, private_inner: bool = True) -> None:
         envelope["hops"] += 1
         envelope["path"].append(nxt)
         self.routes_forwarded += 1
 
-        def on_fail(msg: Message, reason: str, _nxt=nxt, _env=envelope) -> None:
+        def on_fail(msg: Message, reason: str, _nxt=nxt, _env=envelope, _priv=private_inner) -> None:
             # The link (or peer) is unreachable: exclude it and try an
             # alternate route from here, as Section 3.8 describes.
             if not self.in_overlay():
@@ -622,7 +766,7 @@ class OverlayNode:
             _env["hops"] -= 1
             _env["path"].pop()
             _env["exclude"].append(_nxt)
-            self._route_step(_env)
+            self._route_step(_env, private_inner=_priv)
 
         self._send(
             nxt,
@@ -728,15 +872,23 @@ class OverlayNode:
         if not self.in_overlay():
             return
         now = self.sim.now
+        suppress = self.config.hb_suppress_s
         for addr, code in self.links():
-            self._send(addr, "heartbeat", {"code": self.code.bits}, size_bytes=96)
+            if suppress is None or now - self._last_sent.get(addr, -1e18) >= suppress:
+                self._send(addr, "heartbeat", {"code": self.code.bits}, size_bytes=96)
             last = self._last_heard.get(addr)
             if last is not None and now - last > self.config.hb_timeout_s:
                 self._suspect(addr, code)
         self._hb_event = self.sim.schedule(self.config.hb_interval_s, self._heartbeat_tick)
 
     def _on_heartbeat(self, msg: Message) -> None:
-        code = Code(msg.payload["code"])
+        bits = msg.payload["code"]
+        if self.neighbors.confirm_alive(msg.src, bits):
+            # Steady state: the peer is known, alive, and unchanged.
+            if self.adopted or self._pending_adoptions:
+                self._cede_adoptions_to(intern_code(bits))
+            return
+        code = Code(bits)
         self.neighbors.upsert(msg.src, code)
         self.neighbors.mark_alive(msg.src)
         if self.adopted or self._pending_adoptions:

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.overlay.code import Code
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RouteDecision:
     """Outcome of one routing step.
 
@@ -33,6 +33,12 @@ class RouteDecision:
     arrived: bool
     next_hop: Optional[str] = None
     next_code: Optional[Code] = None
+
+
+#: The two constant outcomes, shared — frozen instances are safe to reuse,
+#: and ``next_hop`` runs once per unmemoized routing decision.
+_ARRIVED = RouteDecision(arrived=True)
+_DEAD_END = RouteDecision(arrived=False, next_hop=None)
 
 
 def next_hop(
@@ -51,28 +57,56 @@ def next_hop(
     not forbidden — so recovery transients and retried attempts do not
     ping-pong between the same pair of stale-coded nodes.
     """
-    if my_code.comparable(target):
-        return RouteDecision(arrived=True)
+    # This loop runs once per link on every routed hop of every operation,
+    # so the prefix algebra is inlined on Code's integer mirrors
+    # (``_num``/``_len``) instead of going through method calls.
+    t_num = target._num
+    t_len = target._len
+    my_len = my_code._len
+    n = my_len if my_len < t_len else t_len
+    if n:
+        bits = (my_code._num >> (my_len - n)) ^ (t_num >> (t_len - n))
+        my_cpl = n - bits.bit_length()
+    else:
+        my_cpl = 0
+    if my_cpl == n:  # prefix-comparable: this node owns the target region
+        return _ARRIVED
 
-    diff = my_code.first_diff(target)
-    required = target.prefix(diff + 1)
-    excluded = set(exclude)
-    visited_set = set(visited)
-    best: Dict[bool, Tuple[Optional[str], Optional[Code], int]] = {
-        True: (None, None, -1),   # fresh (unvisited) candidates
-        False: (None, None, -1),  # already-visited fallbacks
-    }
+    # The message must reach subtree ``required = target[:diff+1]``.  A peer
+    # code is prefix-comparable with ``required`` exactly when its common
+    # prefix with ``target`` — capped at ``required``'s length — spans the
+    # shorter of the two, so the whole check reduces to prefix lengths
+    # already in hand (no Code construction per routing decision).
+    req_len = my_cpl + 1
+    excluded = set(exclude) if exclude else ()
+    visited_set = set(visited) if visited else ()
+    # Fresh (unvisited) candidates, and already-visited fallbacks; tracked
+    # in plain locals since this loop is the routing hot spot.
+    best_addr = best_code = None
+    best_len = -1
+    vis_addr = vis_code = None
+    vis_len = -1
     for addr, code in links:
         if addr in excluded:
             continue
-        if not code.comparable(required) and code.common_prefix_len(target) <= my_code.common_prefix_len(target):
-            continue
-        cpl = code.common_prefix_len(target)
-        bucket = addr not in visited_set
-        _, held_code, held_len = best[bucket]
-        if cpl > held_len or (cpl == held_len and held_code is not None and code < held_code):
-            best[bucket] = (addr, code, cpl)
-    best_addr, best_code, _ = best[True] if best[True][0] is not None else best[False]
+        c_len = code._len
+        m = c_len if c_len < t_len else t_len
+        if m:
+            bits = (code._num >> (c_len - m)) ^ (t_num >> (t_len - m))
+            cpl = m - bits.bit_length()
+        else:
+            cpl = 0
+        if cpl <= my_cpl:
+            cap = c_len if c_len < req_len else req_len
+            if (cpl if cpl < req_len else req_len) != cap:
+                continue
+        if addr not in visited_set:
+            if cpl > best_len or (cpl == best_len and best_code is not None and code < best_code):
+                best_addr, best_code, best_len = addr, code, cpl
+        elif cpl > vis_len or (cpl == vis_len and vis_code is not None and code < vis_code):
+            vis_addr, vis_code, vis_len = addr, code, cpl
     if best_addr is None:
-        return RouteDecision(arrived=False, next_hop=None)
+        best_addr, best_code = vis_addr, vis_code
+    if best_addr is None:
+        return _DEAD_END
     return RouteDecision(arrived=False, next_hop=best_addr, next_code=best_code)

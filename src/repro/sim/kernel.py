@@ -1,8 +1,9 @@
 """The discrete-event simulation kernel.
 
 A :class:`Simulator` owns the virtual clock and the event queue.  Components
-schedule callbacks with :meth:`Simulator.schedule`; the driver advances time
-with :meth:`run`, :meth:`run_until` or :meth:`run_until_idle`.
+schedule callbacks with :meth:`Simulator.schedule` (or in bulk with
+:meth:`Simulator.schedule_many`); the driver advances time with
+:meth:`run_until` or :meth:`run_until_idle`.
 
 Design notes
 ------------
@@ -12,9 +13,13 @@ Design notes
   time explicitly (the storage DAC and node CPU models do).
 * Exceptions raised by callbacks abort the run: errors should never pass
   silently in an experiment.
+* The event queue is a calendar-queue-fronted heap (see
+  :mod:`repro.sim.events`); ``calendar_queue=False`` degrades to the plain
+  binary heap with byte-identical scheduling semantics, which the
+  equivalence tests exercise.
 """
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.sim.events import Event, EventQueue
 from repro.sim.randomness import RandomStreams
@@ -27,11 +32,17 @@ class SimulationError(RuntimeError):
 class Simulator:
     """Virtual clock plus event queue plus named random streams."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, calendar_queue: bool = True) -> None:
         self.now: float = 0.0
         self.streams = RandomStreams(seed)
-        self._queue = EventQueue()
+        self._queue = EventQueue() if calendar_queue else EventQueue(num_slots=0)
         self._events_processed = 0
+        #: Unchecked fast-path scheduler for per-message hot paths:
+        #: ``push_at(time, callback, args_tuple)`` with no past-time
+        #: validation and no ``*args`` repacking.  Callers must guarantee
+        #: ``time >= now`` by construction (delivery/service completion
+        #: times always are).
+        self.push_at = self._queue.push
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -49,6 +60,26 @@ class Simulator:
                 f"cannot schedule at t={time:.6f} (now is {self.now:.6f})"
             )
         return self._queue.push(time, callback, args)
+
+    def schedule_many(
+        self, items: Iterable[Tuple[float, Callable[..., Any], Tuple[Any, ...]]]
+    ) -> List[Event]:
+        """Schedule a batch of ``(at_time, callback, args)`` items at once.
+
+        The bulk path for workload replay: one call validates and enqueues
+        the whole batch, amortizing the per-event scheduling overhead that
+        dominates million-record experiment setup.  Times are absolute
+        virtual times (as in :meth:`schedule_at`).
+        """
+        now = self.now
+        batch = []
+        for time, callback, args in items:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule at t={time:.6f} (now is {now:.6f})"
+                )
+            batch.append((time, callback, args))
+        return self._queue.push_many(batch)
 
     def rng(self, name: str):
         """Return the named deterministic random stream."""
@@ -81,11 +112,14 @@ class Simulator:
         """Advance the clock to ``time``, running every event due before it."""
         if time < self.now:
             raise SimulationError(f"cannot run backwards to t={time:.6f}")
+        pop_due = self._queue.pop_due
         while True:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > time:
+            event = pop_due(time)
+            if event is None:
                 break
-            self.step()
+            self.now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
         self.now = time
 
     def run_until_idle(self, max_events: Optional[int] = None) -> int:
@@ -108,20 +142,30 @@ class Simulator:
         """Run events until ``predicate()`` is true or ``timeout`` elapses.
 
         Returns ``True`` if the predicate became true, ``False`` on timeout.
-        The predicate is checked after every ``poll_events`` processed events.
+        The predicate is checked once up front, then after every
+        ``poll_events`` processed events — an expensive predicate (e.g. a
+        full-cluster scan) really does run only every ``poll_events``
+        events, not per event.  Timeout semantics are exact regardless of
+        ``poll_events``: no event past the deadline ever runs, and the
+        clock never rewinds (a non-positive timeout must not move time
+        backwards).
         """
+        if poll_events < 1:
+            raise SimulationError("poll_events must be at least 1")
         deadline = self.now + timeout
+        if predicate():
+            return True
         since_check = 0
-        while not predicate():
+        while True:
             next_time = self._queue.peek_time()
             if next_time is None or next_time > deadline:
                 # Let the remaining timeout elapse, but never rewind the
-                # clock (a non-positive timeout must not move time
-                # backwards).
+                # clock.
                 self.now = max(self.now, deadline)
                 return predicate()
             self.step()
             since_check += 1
             if since_check >= poll_events:
                 since_check = 0
-        return True
+                if predicate():
+                    return True

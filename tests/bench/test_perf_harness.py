@@ -23,13 +23,15 @@ EXPECTED_BENCHES = {
 }
 
 
-def _run_harness(output, extra_env=None):
+def _run_harness(output, extra_env=None, extra_args=()):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     # Timed perf sections require by-reference delivery; the harness
     # refuses to run with the isolation sanitizer on, so the smoke test
-    # must not leak the suite's REPRO_ISOLATE_MESSAGES into it.
+    # must not leak the suite's REPRO_ISOLATE_MESSAGES into it.  Same
+    # for wire validation, which the scale tier refuses outright.
     env.pop("REPRO_ISOLATE_MESSAGES", None)
+    env.pop("REPRO_PROTOCOL_VALIDATE", None)
     env.update(extra_env or {})
     return subprocess.run(
         [
@@ -38,6 +40,7 @@ def _run_harness(output, extra_env=None):
             "--records", "3000",
             "--queries", "5",
             "--output", str(output),
+            *extra_args,
         ],
         env=env,
         cwd=REPO_ROOT,
@@ -67,6 +70,53 @@ def test_run_py_writes_bench_perf_json(tmp_path):
 def test_run_py_refuses_isolation_on(tmp_path):
     output = tmp_path / "BENCH_PERF.json"
     result = _run_harness(output, extra_env={"REPRO_ISOLATE_MESSAGES": "copy"})
+    assert result.returncode == 1
+    assert "isolation" in result.stderr
+    assert not output.exists()
+
+
+# A downsized scale tier: real cluster, real kernel, seconds not minutes.
+SCALE_SMOKE = ("--scale", "--scale-nodes", "8", "--scale-records", "40")
+
+
+def test_run_py_scale_smoke_writes_scale_block(tmp_path):
+    output = tmp_path / "BENCH_PERF.json"
+    result = _run_harness(output, extra_args=SCALE_SMOKE)
+    assert result.returncode == 0, result.stdout + result.stderr
+    scale = json.loads(output.read_text())["scale"]
+    assert scale["nodes"] == 8
+    assert scale["records"] == 40
+    assert scale["events"] > 0
+    assert scale["events_per_s"] > 0
+    assert scale["messages_per_s"] > 0
+    assert scale["peak_rss_mb"] > 0
+    assert scale["complete_fraction"] == 1.0
+
+    # A microbench-only refresh must carry the scale block forward, not
+    # silently drop the recorded baseline.
+    result = _run_harness(output)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert json.loads(output.read_text())["scale"] == scale
+
+
+def test_run_py_scale_refuses_protocol_validation_on(tmp_path):
+    # Wire validation adds per-message payload checks; a scale baseline
+    # timed with it on is not comparable, so run.py refuses instead of
+    # silently disabling it.
+    output = tmp_path / "BENCH_PERF.json"
+    result = _run_harness(
+        output, extra_env={"REPRO_PROTOCOL_VALIDATE": "1"}, extra_args=SCALE_SMOKE
+    )
+    assert result.returncode == 1
+    assert "validation" in result.stderr
+    assert not output.exists()
+
+
+def test_run_py_scale_refuses_isolation_on(tmp_path):
+    output = tmp_path / "BENCH_PERF.json"
+    result = _run_harness(
+        output, extra_env={"REPRO_ISOLATE_MESSAGES": "copy"}, extra_args=SCALE_SMOKE
+    )
     assert result.returncode == 1
     assert "isolation" in result.stderr
     assert not output.exists()

@@ -156,3 +156,28 @@ def test_drop_index_clears_state_everywhere():
         lambda: not any(n.has_index("p") for n in cluster.nodes), timeout=60.0
     )
     assert ok
+
+
+def test_draw_block_cluster_inserts_complete():
+    # The scale tier opts into block-drawn service and latency jitters;
+    # with both knobs on, a small cluster must still route and complete
+    # every insert (same model, different deterministic stream).
+    from repro.overlay.node import OverlayConfig
+
+    cluster = build(
+        seed=80,
+        overlay=OverlayConfig(service_draw_block=16),
+        latency_draw_block=16,
+    )
+    cluster.create_index(make_schema())
+    done = []
+    rng = __import__("random").Random(3)
+    for i, node in enumerate(cluster.nodes * 8):
+        node.insert_record(
+            "p",
+            Record([rng.uniform(0, 100), rng.uniform(0, 86400.0)], key=i),
+            callback=done.append,
+        )
+    ok = cluster.sim.run_until_predicate(lambda: len(done) == 64, timeout=300.0)
+    assert ok
+    assert all(m.success for m in done)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.net import protocol
 from repro.net.message import HEADER_BYTES, Message
-from repro.net.network import SimNetwork
+from repro.net.network import LinkStats, SimNetwork
 from repro.net.topology import Site
 from repro.sim.kernel import Simulator
 
@@ -181,6 +181,50 @@ def test_wan_latency_uses_sites():
     assert times[0] > 0.02
 
 
+def test_draw_block_wan_delays_stay_in_model_support():
+    # Block-drawn jitters are a different (numpy) stream from the stdlib
+    # RNG, but they must sample the same model: every WAN delay is at
+    # least base_s + transmission, and positive jitter keeps it finite.
+    ny = Site("NY", 40.7, -74.0, "t")
+    ldn = Site("LDN", 51.5, -0.1, "t")
+    sim = Simulator(seed=3)
+    net = SimNetwork(
+        sim, {"NY": ny, "LDN": ldn},
+        draw_block=8, record_link_delays=True, link_delay_sample_cap=None,
+    )
+    net.register("NY", lambda m: None)
+    net.register("LDN", lambda m: None)
+    for _ in range(100):  # > draw_block, so refills happen mid-run
+        net.send("NY", "LDN", "x")
+    sim.run_until_idle()
+    delays = [d for _, d in net.link_stats[("NY", "LDN")].delay_samples]
+    assert len(delays) == 100
+    assert all(d >= net.latency.base_s for d in delays)
+
+
+def test_draw_block_lan_delays_stay_in_model_support():
+    sim, net = make_net(
+        draw_block=8, record_link_delays=True, link_delay_sample_cap=None
+    )
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: None)
+    for _ in range(100):
+        net.send("a", "b", "x")
+    sim.run_until_idle()
+    # LAN latency is uniform on [0.5ms, 1ms); the recorded delay adds
+    # transmission and queueing (all 100 sends share one link), so only
+    # the floor and the unqueued first message bound it from both sides.
+    delays = [d for _, d in net.link_stats[("a", "b")].delay_samples]
+    assert len(delays) == 100
+    assert all(d >= 0.0005 for d in delays)
+    assert delays[0] < 0.002
+
+
+def test_draw_block_validated():
+    with pytest.raises(ValueError):
+        make_net(draw_block=-1)
+
+
 def test_link_delay_samples_bounded_by_cap():
     sim, net = make_net(record_link_delays=True, link_delay_sample_cap=16)
     net.register("a", lambda msg: None)
@@ -210,3 +254,112 @@ def test_link_delay_samples_unbounded_when_cap_disabled():
 def test_link_delay_sample_cap_validated():
     with pytest.raises(ValueError):
         make_net(record_link_delays=True, link_delay_sample_cap=1)
+
+
+# ----------------------------------------------------------------------
+# unregister() link-state pruning
+# ----------------------------------------------------------------------
+
+
+def test_unregister_prunes_link_state():
+    # Regression: unregister used to leave _link_busy_until,
+    # _link_down_until and link_stats entries behind for every link the
+    # departed node ever touched — unbounded growth under 1k-node churn.
+    sim, net = make_net()
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: None)
+    net.send("a", "b", "ping")
+    net.send("b", "a", "ping")
+    sim.run_until_idle()
+    assert ("a", "b") in net.link_stats and ("b", "a") in net.link_stats
+    net.set_link_down("a", "b", duration_s=60.0)
+
+    net.unregister("b")
+
+    assert all("b" not in key for key in net.link_stats)
+    assert all("b" not in key for key in net._link_down_until)
+    assert "b" not in net._link_ids
+    assert all("b" not in by_dst for by_dst in net._link_ids.values())
+    # The interned slots go back on the free list for new links to reuse.
+    assert len(net._free_ids) == 2
+
+
+def test_unregister_retain_stats_keeps_accounting():
+    sim, net = make_net()
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: None)
+    net.send("a", "b", "ping", size_bytes=1000, tuples=3)
+    sim.run_until_idle()
+    before = net.link_stats[("a", "b")]
+    assert before.messages == 1 and before.tuples == 3
+
+    net.unregister("b", retain_stats=True)
+
+    after = net.link_stats[("a", "b")]
+    assert after.messages == before.messages
+    assert after.bytes == before.bytes
+    assert after.tuples == before.tuples
+    # Transmission state still resets: a re-registered "b" starts with
+    # idle links instead of inheriting a stale busy-until horizon.
+    link_id = net._link_ids["a"]["b"]
+    assert net._lk_busy_until[link_id] == 0.0
+
+
+def test_unregister_freed_link_ids_are_reused():
+    sim, net = make_net()
+    for name in ("a", "b", "c"):
+        net.register(name, lambda m: None)
+    net.send("a", "b", "ping")
+    sim.run_until_idle()
+    net.unregister("b")
+    freed = len(net._free_ids)
+    assert freed == 1
+    net.send("a", "c", "ping")
+    sim.run_until_idle()
+    assert not net._free_ids, "a fresh link should reuse the freed slot"
+    assert net.link_stats[("a", "c")].messages == 1
+
+
+# ----------------------------------------------------------------------
+# Delay-sample decimation
+# ----------------------------------------------------------------------
+
+
+def test_decimation_realigns_phase_on_stride_doubling():
+    # Regression: when cap-thinning doubled the stride, _delay_phase was
+    # left counting from the pre-thinning grid, so the first sample after
+    # a doubling drifted off the even-spacing grid the Fig 8/12 plots
+    # assume.  Feed sends at t = send index; retained times must stay an
+    # arithmetic progression at the current stride, for both parities of
+    # the just-appended sample surviving the thinning (cap even/odd).
+    for cap in (7, 8):
+        stats = LinkStats()
+        for send in range(100):
+            stats.record_delay(float(send), 0.001, cap)
+        times = [t for t, _ in stats.delay_samples]
+        stride = stats.delay_sample_stride
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert times[0] == 0.0
+        assert diffs and all(d == stride for d in diffs), (cap, stride, times)
+        assert len(times) <= cap
+
+
+def test_decimation_spacing_property():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=60, deadline=None)
+    @given(cap=st.integers(2, 33), n=st.integers(1, 400))
+    def check(cap, n):
+        stats = LinkStats()
+        for send in range(n):
+            stats.record_delay(float(send), 0.001, cap)
+        times = [t for t, _ in stats.delay_samples]
+        stride = stats.delay_sample_stride
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == stride for d in diffs), (cap, n, stride, times)
+        assert len(times) <= cap
+        if times:
+            assert times[0] == 0.0
+
+    check()

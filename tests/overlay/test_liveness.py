@@ -55,6 +55,48 @@ def test_transient_link_break_does_not_kill_peer():
     assert all(n.takeovers == 0 for n in nodes), "link break must not trigger takeover"
 
 
+def test_hb_suppression_skips_heartbeats_for_active_links():
+    # With piggybacking on, a node that keeps sending traffic to all its
+    # links sends no explicit heartbeats -- and nobody gets suspected,
+    # because every delivery refreshes the receiver's liveness clock.
+    sim, network, nodes = build_overlay(6, seed=136, config=live_cfg(hb_suppress_s=2.0))
+    beats = []
+    orig_send = network.send
+
+    def counting_send(src, dst, kind, payload, **kw):
+        if kind == "heartbeat":
+            beats.append((src, dst))
+        return orig_send(src, dst, kind, payload, **kw)
+
+    network.send = counting_send
+
+    def chatter():
+        for n in nodes:
+            for addr, _ in n.links():
+                n._send(addr, "witness_ping", {"on_behalf": n.address}, size_bytes=96)
+        sim.schedule(1.0, chatter)
+
+    chatter()
+    sim.run_until(sim.now + 20.0)
+    assert beats == [], f"piggybacked links still sent {len(beats)} heartbeats"
+    assert all(n.takeovers == 0 for n in nodes)
+    for node in nodes:
+        for addr, _ in node.links():
+            assert node.neighbors.is_alive(addr)
+
+
+def test_hb_suppression_resumes_on_idle_links():
+    # Suppression is per-link recency, not a global off switch: with no
+    # application traffic the heartbeats flow exactly as before.
+    sim, network, nodes = build_overlay(6, seed=137, config=live_cfg(hb_suppress_s=2.0))
+    before = network.messages_sent
+    sim.run_until(sim.now + 20.0)
+    assert network.messages_sent > before + 6 * 5
+    for node in nodes:
+        for addr, _ in node.links():
+            assert node.neighbors.is_alive(addr)
+
+
 def test_cover_restored_after_death():
     sim, network, nodes = build_overlay(10, seed=135, config=live_cfg())
     victim = nodes[4]

@@ -161,3 +161,42 @@ def test_run_until_predicate_timeout_leaves_future_events_pending():
     assert sim.now == 5.0
     assert not fired
     assert sim.pending_events == 1
+
+
+def test_run_until_predicate_batches_predicate_calls():
+    # Regression: the loop used to evaluate the predicate after *every*
+    # event regardless of poll_events (the since_check counter was dead).
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: None)
+    calls = {"n": 0}
+
+    def predicate():
+        calls["n"] += 1
+        return False
+
+    assert not sim.run_until_predicate(predicate, timeout=100.0, poll_events=5)
+    # One up-front check, one per 5-event batch (10 events = 2 batches),
+    # and one final check when the queue drains at the deadline.
+    assert calls["n"] == 1 + 2 + 1
+
+
+def test_run_until_predicate_poll_events_checks_at_batch_boundary():
+    # With poll_events=4 a condition that becomes true at event 3 is only
+    # observed at the batch boundary (event 4) — that is the documented
+    # cost of batching an expensive predicate.
+    sim = Simulator()
+    state = {"count": 0}
+    for i in range(10):
+        sim.schedule(float(i + 1), state.__setitem__, "count", i + 1)
+    assert sim.run_until_predicate(
+        lambda: state["count"] >= 3, timeout=100.0, poll_events=4
+    )
+    assert state["count"] == 4
+    assert sim.now == 4.0
+
+
+def test_run_until_predicate_rejects_bad_poll_events():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.run_until_predicate(lambda: True, timeout=1.0, poll_events=0)

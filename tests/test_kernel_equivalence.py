@@ -1,0 +1,137 @@
+"""Seeded end-to-end equivalence of the scaled event/delivery path.
+
+The scale work (calendar-queue event kernel, heap compaction, array-backed
+link accounting, transmit/deliver fast paths) must not change *any*
+observable simulation output: same seeds in, byte-identical metrics out.
+Two guards enforce that:
+
+* a golden digest, captured from the pre-scale implementation (plain
+  binary heap, per-link ``LinkStats`` objects) on the same seeded
+  scenario — the new path must reproduce it exactly, and
+* an A/B run of the same scenario with the calendar queue enabled and
+  disabled — both engines must agree event for event.
+
+The digest covers every insert metric, every query metric (including
+record keys and failed regions), per-link counters and the full delay
+sample series, plus the kernel's event count.  If an intentional
+behavioral change ever lands, re-capture with::
+
+    PYTHONPATH=src python -c "from tests.test_kernel_equivalence import scenario_digest; print(scenario_digest())"
+"""
+
+import hashlib
+import random
+
+from repro.core.cluster import ClusterConfig, MindCluster
+from repro.core.mind_node import MindConfig
+from repro.core.query import RangeQuery
+from repro.core.records import Record
+from repro.net.topology import synthetic_planetlab_sites
+from repro.overlay.node import OverlayConfig
+from repro.traffic.indices import index1_schema
+
+NODES = 24
+
+#: sha256 of the canonical run transcript, captured from the pre-scale
+#: kernel/network implementation (see module docstring).
+GOLDEN_DIGEST = "d4f85ec35e81b871d1c2fb16a299bf6fcc7f6fc6bfc8449af823de6651321670"
+
+
+def run_scenario(**cluster_kwargs):
+    """A seeded mixed workload: inserts + queries + a crash/restore."""
+    sites = synthetic_planetlab_sites(NODES, random.Random(1840))
+    config = ClusterConfig(
+        seed=1841,
+        overlay=OverlayConfig(
+            service_time_s=0.004,
+            service_jitter_sigma=0.5,
+            liveness_enabled=True,
+            hb_interval_s=5.0,
+            hb_timeout_s=20.0,
+            adoption_delay_s=2.0,
+        ),
+        mind=MindConfig(code_depth=10),
+        record_link_delays=True,
+        link_delay_sample_cap=None,
+        slow_node_fraction=0.1,
+        slow_factor=3.0,
+    )
+    cluster = MindCluster(sites, config, **cluster_kwargs)
+    cluster.build()
+    schema = index1_schema(86400.0)
+    cluster.create_index(schema, replication=1)
+
+    addresses = [n.address for n in cluster.nodes]
+    rng = random.Random(1842)
+    base = cluster.sim.now
+    for i in range(300):
+        # Explicit keys: the global record-id counter depends on how many
+        # Records the process created before this run, and keys appear in
+        # the transcript (query record_keys).
+        record = Record(
+            [rng.uniform(0, 2**32), rng.uniform(0, 86400), rng.uniform(0, 5024)],
+            payload={"i": i},
+            key=i + 1,
+        )
+        cluster.schedule_insert(
+            "index1", record, rng.choice(addresses), base + rng.uniform(0.0, 30.0)
+        )
+    victim, other = addresses[3], addresses[11]
+    cluster.failures.crash_and_restore(victim, at_in_s=10.0, downtime_s=12.0)
+    cluster.failures.crash_and_restore(other, at_in_s=18.0, downtime_s=8.0)
+    for _ in range(20):
+        t0 = rng.uniform(0, 86400 - 600)
+        lo = rng.uniform(0, 4000)
+        query = RangeQuery(
+            "index1",
+            {"timestamp": (t0, t0 + 600), "fanout": (lo, lo + rng.uniform(100, 800))},
+        )
+        cluster.schedule_query(query, rng.choice(addresses), base + rng.uniform(35.0, 60.0))
+    cluster.advance(120.0)
+    return cluster
+
+
+def canonical_transcript(cluster) -> str:
+    """Render every observable output of a run as one canonical string."""
+    lines = []
+    for m in cluster.metrics.inserts:
+        lines.append(
+            f"I {m.op_id} {m.index} {m.origin} {m.start!r} {m.end!r} "
+            f"{m.hops!r} {m.success} {m.retries} {m.failovers}"
+        )
+    for m in cluster.metrics.queries:
+        lines.append(
+            f"Q {m.op_id} {m.index} {m.origin} {m.start!r} {m.end!r} "
+            f"{m.records} {sorted(m.record_keys)} {sorted(m.nodes_visited)} "
+            f"{m.regions} {m.complete} {m.retries} {m.failovers} "
+            f"{m.replica_records} {sorted(m.failed_regions)}"
+        )
+    net = cluster.network
+    for key in sorted(net.link_stats):
+        stats = net.link_stats[key]
+        samples = ";".join(f"{t!r},{d!r}" for t, d in stats.delay_samples)
+        lines.append(
+            f"L {key[0]}>{key[1]} m={stats.messages} b={stats.bytes} "
+            f"t={stats.tuples} s={samples}"
+        )
+    lines.append(
+        f"N sent={net.messages_sent} delivered={net.messages_delivered} "
+        f"failed={net.messages_failed}"
+    )
+    lines.append(f"S now={cluster.sim.now!r} events={cluster.sim.events_processed}")
+    return "\n".join(lines)
+
+
+def scenario_digest(**cluster_kwargs) -> str:
+    transcript = canonical_transcript(run_scenario(**cluster_kwargs))
+    return hashlib.sha256(transcript.encode()).hexdigest()
+
+
+def test_seeded_run_matches_pre_scale_golden():
+    assert scenario_digest() == GOLDEN_DIGEST
+
+
+def test_calendar_and_heap_engines_agree():
+    with_calendar = run_scenario()
+    without = run_scenario(calendar_queue=False)
+    assert canonical_transcript(with_calendar) == canonical_transcript(without)
