@@ -260,6 +260,43 @@ def bench_isolation_overhead(records: List[Record], n_messages: int = 2000) -> D
     }
 
 
+def bench_schedule_fuzz_overhead(n_events: int = 50_000, num_ties: int = 50) -> Dict:
+    """One-shot cost of the schedule-fuzz sanitizer per event.
+
+    Pushes and drains a tie-heavy schedule (``n_events`` events spread
+    over ``num_ties`` distinct timestamps — far denser than any real
+    workload) through the event queue under each fuzz mode.  Like the
+    isolation bench above, this is documentation, not a gate: it records
+    what ``REPRO_SCHEDULE_FUZZ`` adds per event, i.e. why timed perf
+    runs keep the fuzz off.
+    """
+    from repro.sim.events import EventQueue, schedule_fuzz
+
+    times = [float(i % num_ties) for i in range(n_events)]
+    noop = lambda: None  # noqa: E731
+
+    def run(mode: str) -> None:
+        with schedule_fuzz(mode, 1):
+            queue = EventQueue()
+        for t in times:
+            queue.push(t, noop, ())
+        while queue.pop() is not None:
+            pass
+
+    off_s, _ = _timed(lambda: run("off"))
+    shuffle_s, _ = _timed(lambda: run("shuffle"))
+    reverse_s, _ = _timed(lambda: run("reverse"))
+    per_ns = lambda s: round(s / n_events * 1e9, 1)  # noqa: E731
+    return {
+        "events": n_events,
+        "tie_slots": num_ties,
+        "off_ns_per_event": per_ns(off_s),
+        "shuffle_ns_per_event": per_ns(shuffle_s),
+        "reverse_ns_per_event": per_ns(reverse_s),
+        "shuffle_overhead_ns_per_event": per_ns(shuffle_s - off_s),
+    }
+
+
 def run_suite(records_n: int = 100_000, queries_n: int = 50, seed: int = 7) -> Dict:
     """Run every microbenchmark; returns the BENCH_PERF payload."""
     records = make_records(records_n, seed)

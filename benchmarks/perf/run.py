@@ -28,9 +28,15 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import numpy as np  # noqa: E402
 
 from benchmarks.perf.failover_bench import run_failover_scenario  # noqa: E402
-from benchmarks.perf.microbench import bench_isolation_overhead, make_records, run_suite  # noqa: E402
+from benchmarks.perf.microbench import (  # noqa: E402
+    bench_isolation_overhead,
+    bench_schedule_fuzz_overhead,
+    make_records,
+    run_suite,
+)
 from repro.analysis import analyze_paths  # noqa: E402
 from repro.net import message, protocol  # noqa: E402
+from repro.sim import events as sim_events  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -90,15 +96,31 @@ def main(argv=None) -> int:
         )
         return 1
 
+    # Same reasoning for the schedule-fuzz sanitizer: a perturbed
+    # tie-break changes which code paths the timed scenarios take (retry
+    # counts, message volumes), so a baseline recorded under
+    # REPRO_SCHEDULE_FUZZ is not comparable to one recorded without.
+    if sim_events.schedule_fuzz_mode() != sim_events.FUZZ_OFF:
+        print(
+            "schedule fuzz is ON "
+            f"(mode={sim_events.schedule_fuzz_mode()!r}); unset "
+            "REPRO_SCHEDULE_FUZZ for timed perf runs — refusing to "
+            "record a perf baseline",
+            file=sys.stderr,
+        )
+        return 1
+
     # Measure with wire validation off regardless of the environment:
     # per-message payload checks would skew the timings.
     protocol.set_validation(False)
 
     benches = run_suite(args.records, args.queries, args.seed)
     failure_handling = run_failover_scenario(seed=args.seed)
-    # One-shot documentation bench (not a gate): what copy-on-deliver
-    # would cost per message if isolation were left on.
+    # One-shot documentation benches (not gates): what copy-on-deliver
+    # would cost per message if isolation were left on, and what the
+    # fuzzed tie-break would cost per event if schedule fuzz were.
     isolation_overhead = bench_isolation_overhead(make_records(256, args.seed))
+    schedule_fuzz_overhead = bench_schedule_fuzz_overhead()
 
     # The scale tier is opt-in (minutes of wall clock); when it is not
     # re-run, carry the previously recorded block forward so a quick
@@ -149,6 +171,7 @@ def main(argv=None) -> int:
         "benches": benches,
         "failure_handling": failure_handling,
         "isolation_overhead": isolation_overhead,
+        "schedule_fuzz_overhead": schedule_fuzz_overhead,
     }
     if scale is not None:
         payload["scale"] = scale

@@ -28,4 +28,33 @@ BASELINE: List[Dict[str, str]] = [
         ),
         "reason": "retained value is an immutable address string, not a container",
     },
+    # The split two-phase protocol keeps one PendingPrepare slot; three
+    # handlers write it, so order-handler-commute flags all three pairs.
+    # The races are convergent: _on_split_abort and _on_split_commit_notify
+    # only clear the slot after matching (host, round) — a pending entry
+    # matches at most one of them, and both write None, which commutes —
+    # and a same-instant prepare-vs-abort reorder at worst nacks one
+    # prepare, which the host's split retry absorbs.  The schedule-fuzz
+    # equivalence suite exercises these interleavings end to end.
+    {
+        "key": (
+            "order-handler-commute:src/repro/overlay/node.py:"
+            "_on_split_abort~_on_split_commit_notify:_pending_prepare"
+        ),
+        "reason": "both clear to None only after a (host, round) match; commutative",
+    },
+    {
+        "key": (
+            "order-handler-commute:src/repro/overlay/node.py:"
+            "_on_split_abort~_on_split_prepare:_pending_prepare"
+        ),
+        "reason": "reorder at worst nacks the prepare; split retry converges",
+    },
+    {
+        "key": (
+            "order-handler-commute:src/repro/overlay/node.py:"
+            "_on_split_commit_notify~_on_split_prepare:_pending_prepare"
+        ),
+        "reason": "commit clears only its own (host, round); prepare then lands cleanly",
+    },
 ]

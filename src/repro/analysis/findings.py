@@ -70,6 +70,25 @@ RULES = {
         "received payload) as payload without copying; every receiver "
         "would alias the same object"
     ),
+    "order-zero-delay": (
+        "a zero-delay schedule/schedule_at(now) site whose callback "
+        "read-modify-writes self.* state (or cannot be resolved); the "
+        "callback's effect depends on same-timestamp tie-break order"
+    ),
+    "order-float-time-eq": (
+        "float ==/!= against the simulation clock (*.now) or an event "
+        "timestamp for control flow; exact-tie tests fork behaviour on "
+        "float rounding and tie order"
+    ),
+    "order-seq-dependence": (
+        "a read of .seq outside the queue internals observes event "
+        "insertion order, which the deployed WAN does not provide"
+    ),
+    "order-handler-commute": (
+        "two handlers of the same node plain-overwrite the same self.* "
+        "attribute; two same-timestamp messages make the final value "
+        "last-writer-wins"
+    ),
 }
 
 

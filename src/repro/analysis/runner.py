@@ -12,6 +12,7 @@ from repro.analysis import baseline as baseline_mod
 from repro.analysis.aliasing_lint import lint_aliasing
 from repro.analysis.determinism_lint import collect_set_attrs, lint_determinism
 from repro.analysis.findings import RULES, Finding
+from repro.analysis.ordering_lint import lint_ordering
 from repro.analysis.protocol_lint import collect_module, lint_protocol
 from repro.analysis.suppressions import (
     inline_ignores,
@@ -21,12 +22,14 @@ from repro.analysis.suppressions import (
 from repro.net import protocol
 
 #: the individual analyses ``--only`` can select
-LINTS = ("protocol", "determinism", "aliasing")
+LINTS = ("protocol", "determinism", "aliasing", "ordering")
 
 #: repro subpackages whose code must be deterministic.  ``analysis`` and
 #: ``experiments`` are excluded: they run outside the simulation (the
 #: linter itself, plotting/driver scripts) and may touch the wall clock.
-DETERMINISM_SCOPE = ("overlay", "core", "net", "sim", "baselines")
+DETERMINISM_SCOPE = (
+    "overlay", "core", "net", "sim", "baselines", "traffic", "anomaly", "storage",
+)
 
 #: files inside the scope that are allowed ambient-randomness primitives —
 #: the seeded-stream registry itself wraps ``random.Random``.
@@ -36,6 +39,16 @@ DETERMINISM_EXEMPT = ("repro/sim/randomness.py",)
 #: that sends or handles messages.  ``sim`` (kernel/RNG, no messages) and
 #: the offline packages are out of scope.
 ALIASING_SCOPE = ("overlay", "core", "net", "baselines")
+
+#: repro subpackages subject to the event-ordering (repro-race) rules —
+#: everything that runs inside the simulation.
+ORDERING_SCOPE = (
+    "overlay", "core", "net", "sim", "baselines", "traffic", "anomaly", "storage",
+)
+
+#: queue/kernel internals implement the tie-break itself: they own
+#: ``seq``, compare times, and schedule at ``now`` by design.
+ORDERING_EXEMPT = ("repro/sim/events.py", "repro/sim/kernel.py")
 
 
 @dataclass
@@ -103,6 +116,12 @@ def _in_aliasing_scope(rel_path: str) -> bool:
     return _in_scope(rel_path, ALIASING_SCOPE)
 
 
+def _in_ordering_scope(rel_path: str) -> bool:
+    if any(rel_path.endswith(exempt) for exempt in ORDERING_EXEMPT):
+        return False
+    return _in_scope(rel_path, ORDERING_SCOPE)
+
+
 def analyze_paths(
     paths: Sequence[str],
     registry: Optional[Dict[str, protocol.MessageKind]] = None,
@@ -118,7 +137,7 @@ def analyze_paths(
     gates the whole-protocol checks (unhandled / unsent / dead kinds),
     which only make sense when the analyzed set covers every sender and
     handler — leave it off when linting a single file.  ``lints`` selects
-    a subset of :data:`LINTS` (default: all three).
+    a subset of :data:`LINTS` (default: all four).
     """
     registry = protocol.REGISTRY if registry is None else registry
     routed = protocol.ROUTED if routed is None else routed
@@ -152,6 +171,11 @@ def analyze_paths(
         for module in modules:
             if _in_aliasing_scope(module.path):
                 findings.extend(lint_aliasing(module))
+
+    if "ordering" in selected:
+        for module in modules:
+            if _in_ordering_scope(module.path):
+                findings.extend(lint_ordering(module))
 
     ignores_by_path = {rel_path: inline_ignores(source) for rel_path, source, _ in sources}
     result = AnalysisResult()
@@ -187,7 +211,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.analysis",
         description=(
             "repro static analysis: protocol (repro-lint), determinism "
-            "(repro-lint), and cross-node aliasing (repro-san)"
+            "(repro-lint), cross-node aliasing (repro-san), and "
+            "event-ordering races (repro-race)"
         ),
         epilog=(
             "exit codes: 0 — no active findings; 1 — active findings "
@@ -200,8 +225,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="files or directories to analyze (default: the repro package)",
     )
     parser.add_argument(
-        "--only", choices=LINTS, metavar="{protocol,determinism,aliasing}",
-        help="run a single analysis instead of all three",
+        "--only", choices=LINTS, metavar="{protocol,determinism,aliasing,ordering}",
+        help="run a single analysis instead of all four",
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",

@@ -5,7 +5,8 @@ Two escape hatches, both explicit and reviewable:
 * an inline comment ``# repro-lint: ignore[rule-a,rule-b] reason`` on the
   flagged line (or on the line directly above it) suppresses those rules
   at that site; ``ignore[*]`` suppresses every rule.  The aliasing rules
-  spell the tag ``# repro-san: ignore[...]`` — both spellings are
+  spell the tag ``# repro-san: ignore[...]`` and the event-ordering
+  rules ``# repro-race: ignore[...]`` — all three spellings are
   accepted for any rule;
 * :data:`repro.analysis.baseline.BASELINE` lists accepted findings by
   their stable ``rule:path:context`` key, each with a written
@@ -21,7 +22,7 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.analysis.findings import Finding
 
-_IGNORE_RE = re.compile(r"#\s*repro-(?:lint|san):\s*ignore\[([^\]]+)\]")
+_IGNORE_RE = re.compile(r"#\s*repro-(?:lint|san|race):\s*ignore\[([^\]]+)\]")
 
 
 def inline_ignores(source: str) -> Dict[int, Set[str]]:

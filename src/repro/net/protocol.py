@@ -119,8 +119,11 @@ REGISTRY: Dict[str, MessageKind] = dict(
         _kind("code_update", "overlay", ["address", "code"],
               doc="A node announces its (new) primary code."),
         # -- overlay: liveness and recovery ----------------------------
-        _kind("heartbeat", "overlay", ["code"],
-              doc="Periodic liveness beacon carrying the sender's code."),
+        _kind("heartbeat", "overlay", ["code"], optional=["peer_code"],
+              doc="Periodic liveness beacon carrying the sender's code; "
+                  "peer_code echoes the code the sender believes the "
+                  "receiver holds, so stale entries trigger a corrective "
+                  "beacon and one-directional links heal."),
         _kind("liveness_probe", "overlay", ["suspect"],
               doc="Ask a witness whether it can still reach the suspect."),
         _kind("liveness_report", "overlay", ["suspect", "alive"],

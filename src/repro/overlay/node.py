@@ -751,6 +751,19 @@ class OverlayNode:
                 envelope["inner"] = thaw_payload(envelope["inner"])
             self._start_ring_recovery(envelope)
             return
+        if decision.next_hop in path:
+            # Every candidate toward the target's subtree is already on
+            # this message's path: the greedy scan fell back to a visited
+            # node, and with unchanged link tables re-forwarding replays
+            # the exact cycle until the TTL dies.  This happens when a
+            # link entry is stale — the peer crashed and rejoined under a
+            # different code, so it bounces the message straight back.
+            # Expanding-ring recovery can escape through nodes outside
+            # the cycle, so treat the revisit as a greedy dead end.
+            if not private_inner:
+                envelope["inner"] = thaw_payload(envelope["inner"])
+            self._start_ring_recovery(envelope)
+            return
         self._forward(envelope, decision.next_hop, private_inner)
 
     def _forward(self, envelope: Dict[str, Any], nxt: str, private_inner: bool = True) -> None:
@@ -875,7 +888,20 @@ class OverlayNode:
         suppress = self.config.hb_suppress_s
         for addr, code in self.links():
             if suppress is None or now - self._last_sent.get(addr, -1e18) >= suppress:
-                self._send(addr, "heartbeat", {"code": self.code.bits}, size_bytes=96)
+                # ``peer_code`` echoes what *we* think the receiver's code
+                # is, so a peer we know under a stale code (it crashed and
+                # rejoined elsewhere in the tree) can correct us: without
+                # the echo a one-directional link never heals — the peer
+                # does not have us in its new link set, so its own
+                # heartbeats never reach us, and witness probes only attest
+                # that the *address* is alive, keeping the stale code
+                # forever.  Greedy routing through such an entry loops.
+                self._send(
+                    addr,
+                    "heartbeat",
+                    {"code": self.code.bits, "peer_code": code.bits},
+                    size_bytes=96,
+                )
             last = self._last_heard.get(addr)
             if last is not None and now - last > self.config.hb_timeout_s:
                 self._suspect(addr, code)
@@ -887,12 +913,28 @@ class OverlayNode:
             # Steady state: the peer is known, alive, and unchanged.
             if self.adopted or self._pending_adoptions:
                 self._cede_adoptions_to(intern_code(bits))
-            return
-        code = Code(bits)
-        self.neighbors.upsert(msg.src, code)
-        self.neighbors.mark_alive(msg.src)
-        if self.adopted or self._pending_adoptions:
-            self._cede_adoptions_to(code)
+        else:
+            code = Code(bits)
+            self.neighbors.upsert(msg.src, code)
+            self.neighbors.mark_alive(msg.src)
+            if self.adopted or self._pending_adoptions:
+                self._cede_adoptions_to(code)
+        believed = msg.payload.get("peer_code")
+        if (
+            believed is not None
+            and self.code is not None
+            and believed != self.code.bits
+        ):
+            # The sender's entry for us is stale.  Answer with a corrective
+            # beacon carrying our real code; the echo we attach is the code
+            # the sender just told us, so the exchange converges in one
+            # round trip instead of ping-ponging.
+            self._send(
+                msg.src,
+                "heartbeat",
+                {"code": self.code.bits, "peer_code": bits},
+                size_bytes=96,
+            )
 
     def _suspect(self, addr: str, code: Code) -> None:
         if addr in self._declared_dead:

@@ -12,29 +12,142 @@ Scaling design (the 1k-node / 1M-record regime)
 Three things keep the per-event constant small enough for ~10^7-event runs:
 
 * **Tuple-backed ordering.**  The heap and the calendar slots store
-  ``(time, seq, event)`` triples, so every comparison is C-speed tuple
-  comparison instead of a Python ``Event.__lt__`` call — the dominant cost
-  of a large pure-``Event`` heap.
+  ``(time, key, event)`` triples (``key`` is ``seq`` unless schedule fuzz
+  is on — see below), so every comparison is C-speed tuple comparison
+  instead of a Python ``Event.__lt__`` call — the dominant cost of a
+  large pure-``Event`` heap.
 * **A slotted calendar queue in front of the heap.**  The overwhelming
   majority of events in a network simulation are near-future (message
   deliveries and service completions microseconds-to-seconds out).  Those
   land in a ring of time slots appended O(1); a slot is sorted once, when
   the cursor reaches it.  Far-future events (long timers) overflow to the
   binary heap.  Pop/peek take the minimum of the two heads, so ordering is
-  *exactly* the global ``(time, seq)`` order — seeded runs are
+  *exactly* the global ``(time, key)`` order — seeded runs are
   byte-identical with the calendar on or off (``num_slots=0`` disables it).
 * **Heap compaction.**  Million-timer churn runs cancel most of what they
   schedule (per-attempt watchdogs, heartbeats of crashed nodes).  When
   more than half of the stored entries are dead the queue rebuilds itself,
   dropping them in one O(n) pass instead of paying O(dead) on every pop.
+
+Schedule fuzzing (the repro-race runtime sanitizer)
+---------------------------------------------------
+FIFO tie-breaking among same-timestamp events is a *simulator* guarantee,
+not one the deployed WAN makes: concurrent messages arrive in arbitrary
+order.  ``REPRO_SCHEDULE_FUZZ=shuffle`` (or ``reverse``) replaces the
+``seq`` component of every stored entry with a seeded *tie key* — a
+bijective mix of ``seq`` under ``shuffle``, ``-seq`` under ``reverse`` —
+so equal-time events fire in a perturbed but fully deterministic order.
+Events at distinct times are unaffected, the heap and the calendar see
+the same keys (the two engines stay order-equivalent), and
+``REPRO_SCHEDULE_FUZZ_SEED`` selects among shuffle orders.  Handlers
+whose outcome changes under fuzz depend on insertion order — exactly the
+latent races the ordering lint hunts statically.  The mode is captured
+per :class:`EventQueue` at construction; use :func:`schedule_fuzz` (a
+context manager) around simulator construction in tests.
 """
 
 import heapq
 import itertools
+import os
 from bisect import insort
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 _INF = float("inf")
+
+# ----------------------------------------------------------------------
+# Schedule-fuzz mode (tie-break perturbation)
+# ----------------------------------------------------------------------
+#: Tie-break equal-time events in scheduling (``seq``) order — the default.
+FUZZ_OFF = "off"
+#: Tie-break equal-time events in a seeded pseudo-random order.
+FUZZ_SHUFFLE = "shuffle"
+#: Tie-break equal-time events in reverse scheduling order (LIFO).
+FUZZ_REVERSE = "reverse"
+
+_FUZZ_MODES = (FUZZ_OFF, FUZZ_SHUFFLE, FUZZ_REVERSE)
+
+_M64 = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """splitmix64 finalizer: a bijection on 64-bit ints.
+
+    Bijectivity is what makes the shuffled tie keys collision-free for
+    distinct ``seq`` values, so the total order stays strict and tuple
+    comparisons never fall through to the :class:`Event` objects.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _M64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _M64
+    return value ^ (value >> 31)
+
+
+def _mode_from_env() -> str:
+    raw = os.environ.get("REPRO_SCHEDULE_FUZZ", "").strip().lower()
+    if raw in ("", "0", "false", "no"):
+        return FUZZ_OFF
+    if raw in _FUZZ_MODES:
+        return raw
+    raise ValueError(
+        f"REPRO_SCHEDULE_FUZZ={raw!r} is not one of {', '.join(_FUZZ_MODES)}"
+    )
+
+
+def _seed_from_env() -> int:
+    raw = os.environ.get("REPRO_SCHEDULE_FUZZ_SEED", "").strip()
+    return int(raw) if raw else 0
+
+
+_fuzz_mode = _mode_from_env()
+_fuzz_seed = _seed_from_env()
+
+
+def schedule_fuzz_mode() -> str:
+    """The process-wide fuzz mode new :class:`EventQueue`\\ s will capture."""
+    return _fuzz_mode
+
+
+def schedule_fuzz_seed() -> int:
+    """The seed that selects among shuffle orders."""
+    return _fuzz_seed
+
+
+def set_schedule_fuzz(mode: str, seed: Optional[int] = None) -> Tuple[str, int]:
+    """Set the fuzz mode (and optionally the seed); returns the previous pair.
+
+    Only queues constructed *after* the call observe the new mode — an
+    :class:`EventQueue` captures its tie-key function at construction so
+    the hot push path never consults module state.
+    """
+    global _fuzz_mode, _fuzz_seed
+    if mode not in _FUZZ_MODES:
+        raise ValueError(f"unknown schedule-fuzz mode {mode!r} (expected {_FUZZ_MODES})")
+    previous = (_fuzz_mode, _fuzz_seed)
+    _fuzz_mode = mode
+    if seed is not None:
+        _fuzz_seed = int(seed)
+    return previous
+
+
+@contextmanager
+def schedule_fuzz(mode: str, seed: Optional[int] = None):
+    """Context manager: run a block under the given fuzz mode/seed."""
+    previous = set_schedule_fuzz(mode, seed)
+    try:
+        yield
+    finally:
+        set_schedule_fuzz(previous[0], previous[1])
+
+
+def _tie_key_fn(mode: str, seed: int) -> Optional[Callable[[int], int]]:
+    """The ``seq -> tie key`` map for ``mode``, or ``None`` for identity."""
+    if mode == FUZZ_OFF:
+        return None
+    if mode == FUZZ_REVERSE:
+        return int.__neg__
+    salt = _mix64(seed & _M64)
+    return lambda seq: _mix64(seq ^ salt)
 
 #: Default near-future slot width in virtual seconds.  Message deliveries
 #: and CPU service completions cluster well under this; a slot therefore
@@ -64,7 +177,7 @@ class Event:
     user code only holds them to :meth:`cancel` a pending timer.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue", "_in_heap")
+    __slots__ = ("time", "seq", "key", "callback", "args", "cancelled", "_queue", "_in_heap")
 
     def __init__(
         self,
@@ -73,9 +186,13 @@ class Event:
         callback: Callable[..., Any],
         args: Tuple[Any, ...],
         queue: Optional["EventQueue"] = None,
+        key: Optional[int] = None,
     ) -> None:
         self.time = time
         self.seq = seq
+        #: Tie-break key within a timestamp: ``seq`` normally, a seeded
+        #: perturbation of it under ``REPRO_SCHEDULE_FUZZ``.
+        self.key = seq if key is None else key
         self.callback = callback
         self.args = args
         self.cancelled = False
@@ -91,7 +208,7 @@ class Event:
             self._queue._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.key) < (other.time, other.key)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -117,6 +234,10 @@ class EventQueue:
             raise ValueError("num_slots must be >= 0")
         self._heap: List[Tuple[float, int, Event]] = []
         self._counter = itertools.count()
+        #: ``seq -> tie key`` under schedule fuzz, ``None`` when off.
+        #: Captured once so the per-push cost of the off mode is a single
+        #: ``is None`` test.
+        self._tie_key = _tie_key_fn(_fuzz_mode, _fuzz_seed)
         #: Entries stored anywhere (heap + calendar), including cancelled.
         self._size = 0
         #: Cancelled entries still stored awaiting lazy removal.
@@ -156,7 +277,7 @@ class EventQueue:
 
         Live near-future entries migrate to the heap; the calendar
         repopulates from subsequent pushes.  Ordering is unaffected — pops
-        always take the global ``(time, seq)`` minimum of both structures.
+        always take the global ``(time, key)`` minimum of both structures.
         """
         live = [entry for entry in self._heap if not entry[2].cancelled]
         for dead in self._heap:
@@ -191,8 +312,11 @@ class EventQueue:
     # Insertion
     # ------------------------------------------------------------------
     def push(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]) -> Event:
-        event = Event(time, next(self._counter), callback, args, queue=self)
-        entry = (time, event.seq, event)
+        seq = next(self._counter)
+        tie = self._tie_key
+        key = seq if tie is None else tie(seq)
+        event = Event(time, seq, callback, args, queue=self, key=key)
+        entry = (time, key, event)
         # Near-future calendar insert, inlined from :meth:`_insert` — this
         # is the hottest allocation site of a large run.
         num_slots = self._num_slots
@@ -203,7 +327,7 @@ class EventQueue:
                 self._size += 1
                 bucket = self._slots[slot % num_slots]
                 if offset == 0 and self._cur_sorted:
-                    insort(bucket, entry)
+                    insort(bucket, entry, self._cur_pos)
                 else:
                     bucket.append(entry)
                 self._cal_size += 1
@@ -216,11 +340,14 @@ class EventQueue:
     ) -> List[Event]:
         """Bulk :meth:`push`; one call amortizes the per-event overhead."""
         counter = self._counter
+        tie = self._tie_key
         insert = self._insert
         events = []
         for time, callback, args in items:
-            event = Event(time, next(counter), callback, args, queue=self)
-            insert((time, event.seq, event))
+            seq = next(counter)
+            key = seq if tie is None else tie(seq)
+            event = Event(time, seq, callback, args, queue=self, key=key)
+            insert((time, key, event))
             events.append(event)
         return events
 
@@ -236,10 +363,15 @@ class EventQueue:
                     bucket = self._slots[slot % num_slots]
                     if offset == 0 and self._cur_sorted:
                         # The slot under the cursor is already sorted and
-                        # partially consumed; keep it ordered.  Consumed
-                        # entries all precede this one in (time, seq), so
-                        # the insertion point is past ``_cur_pos``.
-                        insort(bucket, entry)
+                        # partially consumed; keep the *unconsumed* suffix
+                        # ordered.  ``lo=_cur_pos`` pins the insertion
+                        # point past the consumed prefix: under schedule
+                        # fuzz a zero-delay push can draw a tie key below
+                        # an already-fired entry's, and an unclamped
+                        # insort would bury it behind the cursor, losing
+                        # the event.  (With fuzz off the clamp is a no-op:
+                        # new entries always sort after consumed ones.)
+                        insort(bucket, entry, self._cur_pos)
                     else:
                         bucket.append(entry)
                     self._cal_size = cal_size + 1

@@ -16,6 +16,7 @@ survives behind ``vectorized=False`` and serves as the ground truth for
 the equivalence property tests.
 """
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -227,7 +228,12 @@ class TimePartitionedStore:
             return sorted(self._buckets)
         lo, hi = time_range
         first = int(lo // self.bucket_s)
-        last = int(max(lo, hi - 1e-9) // self.bucket_s)
+        # The range is half-open, so the last candidate bucket is the one
+        # holding the largest representable timestamp below ``hi``.  A
+        # fixed epsilon (``hi - 1e-9``) breaks for hi in (0, epsilon): the
+        # subtraction crosses zero and prunes bucket 0 even though
+        # [lo, hi) intersects it.
+        last = int(max(lo, math.nextafter(hi, -math.inf)) // self.bucket_s)
         span = last - first + 1
         if span >= len(self._buckets):
             return sorted(b for b in self._buckets if first <= b <= last)

@@ -26,12 +26,15 @@ EXPECTED_BENCHES = {
 def _run_harness(output, extra_env=None, extra_args=()):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
-    # Timed perf sections require by-reference delivery; the harness
-    # refuses to run with the isolation sanitizer on, so the smoke test
-    # must not leak the suite's REPRO_ISOLATE_MESSAGES into it.  Same
-    # for wire validation, which the scale tier refuses outright.
+    # Timed perf sections require by-reference delivery and the FIFO
+    # tie-break; the harness refuses to run with the isolation or
+    # schedule-fuzz sanitizers on, so the smoke test must not leak the
+    # suite's REPRO_ISOLATE_MESSAGES / REPRO_SCHEDULE_FUZZ into it.
+    # Same for wire validation, which the scale tier refuses outright.
     env.pop("REPRO_ISOLATE_MESSAGES", None)
     env.pop("REPRO_PROTOCOL_VALIDATE", None)
+    env.pop("REPRO_SCHEDULE_FUZZ", None)
+    env.pop("REPRO_SCHEDULE_FUZZ_SEED", None)
     env.update(extra_env or {})
     return subprocess.run(
         [
@@ -65,6 +68,11 @@ def test_run_py_writes_bench_perf_json(tmp_path):
     assert overhead["messages"] > 0
     assert overhead["copy_us_per_msg"] >= 0.0
     assert overhead["freeze_us_per_msg"] >= 0.0
+    fuzz = payload["schedule_fuzz_overhead"]
+    assert fuzz["events"] > 0
+    assert fuzz["off_ns_per_event"] >= 0.0
+    assert fuzz["shuffle_ns_per_event"] >= 0.0
+    assert fuzz["reverse_ns_per_event"] >= 0.0
 
 
 def test_run_py_refuses_isolation_on(tmp_path):
@@ -72,6 +80,14 @@ def test_run_py_refuses_isolation_on(tmp_path):
     result = _run_harness(output, extra_env={"REPRO_ISOLATE_MESSAGES": "copy"})
     assert result.returncode == 1
     assert "isolation" in result.stderr
+    assert not output.exists()
+
+
+def test_run_py_refuses_schedule_fuzz_on(tmp_path):
+    output = tmp_path / "BENCH_PERF.json"
+    result = _run_harness(output, extra_env={"REPRO_SCHEDULE_FUZZ": "shuffle"})
+    assert result.returncode == 1
+    assert "schedule fuzz" in result.stderr
     assert not output.exists()
 
 

@@ -15,11 +15,28 @@ deployment.  ``REPRO_ISOLATE_MESSAGES=freeze`` hardens the whole suite
 further — delivered payloads become read-only views and mutation raises.
 Perf benchmarks opt out locally (copying would distort timings); tests
 that need a specific level use ``message.isolation(level)``.
+
+Schedule fuzz (``REPRO_SCHEDULE_FUZZ=shuffle|reverse`` plus
+``REPRO_SCHEDULE_FUZZ_SEED=N``) perturbs same-timestamp event ordering
+suite-wide: :mod:`repro.sim.events` reads the variables at import, and
+the fixture below re-applies them so a test that leaked a
+``set_schedule_fuzz`` call cannot silently change the suite's mode.
+Tests that pin a specific tie-break order (golden transcript digests,
+engine A/B equivalence) wrap simulator construction in
+``events.schedule_fuzz("off")``.
 """
 
 import pytest
 
 from repro.net import message, protocol
+from repro.sim import events
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _schedule_fuzz():
+    previous = events.set_schedule_fuzz(events._mode_from_env(), events._seed_from_env())
+    yield
+    events.set_schedule_fuzz(previous[0], previous[1])
 
 
 @pytest.fixture(autouse=True, scope="session")

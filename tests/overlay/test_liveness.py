@@ -1,5 +1,6 @@
 """Liveness mechanics: heartbeats, witness probes, false-positive safety."""
 
+from repro.overlay.code import Code
 from repro.overlay.node import OverlayConfig
 
 from tests.helpers import build_overlay
@@ -95,6 +96,59 @@ def test_hb_suppression_resumes_on_idle_links():
     for node in nodes:
         for addr, _ in node.links():
             assert node.neighbors.is_alive(addr)
+
+
+def test_stale_neighbor_code_heals_via_heartbeat_echo():
+    # Regression (found by REPRO_SCHEDULE_FUZZ=shuffle): when a peer
+    # crashes and rejoins elsewhere in the code tree, a node that knew it
+    # under the old code may no longer be hypercube-adjacent to the new
+    # one.  The relocated peer then never heartbeats back, and witness
+    # probes only attest that the *address* is alive — so the stale code
+    # survived forever and greedy routing through it looped.  Heartbeats
+    # now echo the code the sender believes the receiver holds, and a
+    # mismatch triggers a corrective beacon that heals the entry.
+    sim, network, nodes = build_overlay(8, seed=138, config=live_cfg())
+    s = nodes[1]
+    x_addr, x_old = s.links()[0]
+    x = next(n for n in nodes if n.address == x_addr)
+    # Relocate x to the bitwise complement of s's code: provably not
+    # adjacent to s in either direction, so no regular heartbeat from x
+    # will ever reach s — exactly the one-directional staleness the
+    # shuffle run produced via crash + rejoin.
+    relocated = Code("".join("1" if b == "0" else "0" for b in s.code.bits))
+    x._set_code(relocated, old_code=x_old)
+    assert all(addr != s.address for addr, _ in x.links())
+    sim.run_until(sim.now + 4 * 2.0)
+    assert s.neighbors.code_of(x_addr) == relocated, (
+        f"{s.address} still knows {x_addr} under stale code "
+        f"{s.neighbors.code_of(x_addr)}"
+    )
+
+
+def test_heartbeat_echo_converges_without_ping_pong():
+    # A corrective beacon carries the code the sender just learned, so a
+    # single stale entry heals in one exchange: count the corrective
+    # (off-schedule) heartbeats x sends back to s.
+    sim, network, nodes = build_overlay(8, seed=139, config=live_cfg())
+    s = nodes[2]
+    x_addr, x_old = s.links()[0]
+    x = next(n for n in nodes if n.address == x_addr)
+    relocated = Code("".join("1" if b == "0" else "0" for b in s.code.bits))
+    x._set_code(relocated, old_code=x_old)
+    beats = []
+    orig_send = network.send
+
+    def counting_send(src, dst, kind, payload, **kw):
+        if kind == "heartbeat" and src == x.address and dst == s.address:
+            beats.append(payload)
+        return orig_send(src, dst, kind, payload, **kw)
+
+    network.send = counting_send
+    sim.run_until(sim.now + 10 * 2.0)
+    assert s.neighbors.code_of(x_addr) == relocated
+    # One corrective beacon heals the entry; after that s's heartbeats
+    # carry the right peer_code and x stays silent toward s.
+    assert 1 <= len(beats) <= 2, f"{len(beats)} corrective beacons"
 
 
 def test_cover_restored_after_death():

@@ -110,6 +110,61 @@ def test_route_around_transient_link_failure():
     assert any(env["inner"].get("x") == 1 for env in dst.arrivals)
 
 
+def _rig(codes):
+    """A hand-built overlay with forged neighbor tables (no join protocol).
+
+    Used to reproduce inconsistent-table states (stale codes after a
+    crash + rejoin) that the join protocol itself would never produce.
+    """
+    from repro.sim.kernel import Simulator
+    from tests.helpers import make_network
+
+    sim = Simulator(21)
+    network = make_network(sim)
+    nodes = {}
+    for addr, bits in codes.items():
+        node = RecordingNode(sim, network, addr, config=OverlayConfig())
+        node.active = True
+        node._set_code(Code(bits))
+        nodes[addr] = node
+    return sim, network, nodes
+
+
+def test_stale_link_cycle_falls_back_to_ring_recovery():
+    # Regression (found by REPRO_SCHEDULE_FUZZ=shuffle): "b" crashed and
+    # rejoined as 11111, but "a" still lists it under its old code 0001 —
+    # the only candidate toward region 000.  Greedy then cycles
+    # a -> b -> c -> a: at every hop the sole subtree candidate is already
+    # on the path, and pre-fix the message bounced until route_ttl and
+    # died "ttl-exceeded".  The revisit is now treated as a greedy dead
+    # end: expanding-ring recovery escapes through e (equal prefix match,
+    # outside the required subtree — exactly what greedy may not use) and
+    # reaches d, the region's real owner.
+    sim, network, nodes = _rig(
+        {"a": "0011", "b": "11111", "c": "0111", "d": "0000", "e": "0010"}
+    )
+    a, b, c, d, e = (nodes[k] for k in "abcde")
+    a.neighbors.upsert("b", Code("0001"))  # stale: b's pre-crash code
+    a.neighbors.upsert("c", Code("0111"))
+    a.neighbors.upsert("e", Code("0010"))
+    b.neighbors.upsert("c", Code("0111"))
+    c.neighbors.upsert("a", Code("0011"))
+    c.neighbors.upsert("b", Code("11111"))
+    e.neighbors.upsert("d", Code("0000"))
+
+    a.route(Code("000"), "probe", {"stale": 1}, op_id="stale-cycle")
+    sim.run_until(sim.now + 60.0)
+
+    reasons = [
+        f["reason"] for n in nodes.values() for f in n.failures
+    ]
+    assert "ttl-exceeded" not in reasons, f"greedy looped to death: {reasons}"
+    assert any(env["inner"].get("stale") == 1 for env in d.arrivals), (
+        f"message never escaped the stale cycle (failures: {reasons})"
+    )
+    assert a.ring_recoveries + c.ring_recoveries >= 1
+
+
 def test_sibling_takeover_after_node_death():
     cfg = OverlayConfig(liveness_enabled=True, hb_interval_s=2.0, hb_timeout_s=7.0)
     sim, network, nodes = build_overlay(8, seed=15, node_cls=RecordingNode, config=cfg)

@@ -1,11 +1,13 @@
 """Property tests: EventQueue vs a naive sorted-list model.
 
 The queue is a calendar-fronted binary heap with lazy cancellation and
-periodic compaction; the model is a plain list of ``(time, seq, event)``
-tuples ordered by ``min()``.  Any sequence of push/cancel/pop/pop_due/
-peek operations must be observationally identical between the two —
-including pushes behind the calendar cursor, duplicate times (seq
-tie-break), cancels of already-popped events, and compaction rebuilds.
+periodic compaction; the model is a plain list of ``(time, key, event)``
+tuples ordered by ``min()`` — ``key`` is the tie-break key, which equals
+``seq`` unless schedule fuzz is on, so the same model checks the fuzzed
+orders too.  Any sequence of push/cancel/pop/pop_due/peek operations
+must be observationally identical between the two — including pushes
+behind the calendar cursor, duplicate times (tie-break), cancels of
+already-popped events, and compaction rebuilds.
 """
 
 import random
@@ -39,15 +41,15 @@ def _noop():  # events are never fired by these tests
 @given(data=st.data())
 def test_event_queue_matches_sorted_model(kwargs, data):
     queue = EventQueue(**kwargs)
-    model = []  # live (time, seq, event) tuples; min() is the next pop
+    model = []  # live (time, key, event) tuples; min() is the next pop
     created = []  # every event ever pushed, for cancel-after-pop ops
 
     for op in data.draw(_OPS):
         if op == "push":
             t = data.draw(_TIMES)
             event = queue.push(t, _noop, ())
-            model.append((t, event.seq, event))
-            created.append((t, event.seq, event))
+            model.append((t, event.key, event))
+            created.append((t, event.key, event))
         elif op == "cancel" and created:
             # May hit a live, already-popped, or already-cancelled event;
             # all must be safe and only the live case changes the queue.
@@ -78,7 +80,7 @@ def test_event_queue_matches_sorted_model(kwargs, data):
             assert queue.peek_time() == expected
         assert len(queue) == len(model)
 
-    # Drain: the tail must come out in exact (time, seq) order.
+    # Drain: the tail must come out in exact (time, key) order.
     drained = []
     while True:
         event = queue.pop()
@@ -103,7 +105,7 @@ def test_event_queue_compaction_matches_model(kwargs):
         if r < 0.5 or not model:
             t = rng.randrange(0, 20000) / 8.0
             event = queue.push(t, _noop, ())
-            model.append((t, event.seq, event))
+            model.append((t, event.key, event))
         elif r < 0.85:
             entry = model.pop(rng.randrange(len(model)))
             entry[2].cancel()

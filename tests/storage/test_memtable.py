@@ -58,6 +58,21 @@ def test_query_time_pruning(schema):
     assert len(store.query(full)) == 2
 
 
+def test_tiny_positive_time_upper_bound_keeps_bucket_zero(schema):
+    # Regression (found by the store property test): bucket pruning used a
+    # fixed epsilon (hi - 1e-9) to handle the half-open upper bound, so a
+    # time range like (-1.0, 1e-308) — hi positive but below the epsilon —
+    # pruned bucket 0 and dropped a record at t=0 the rectangle admits.
+    store = TimePartitionedStore(schema, bucket_s=100.0)
+    at_zero = Record([10.0, 0.0])
+    store.insert(at_zero)
+    full = ((0.0, 1.0), (0.0, 1.0))
+    hits = store.query(full, time_range=(-1.0, 1e-308))
+    assert [r.key for r in hits] == [at_zero.key]
+    # The half-open bound itself still excludes: [lo, 0.0) holds nothing.
+    assert store.query(full, time_range=(-1.0, 0.0)) == []
+
+
 def test_clamped_records_match_top_rect(schema):
     store = TimePartitionedStore(schema)
     big = Record([1e9, 10.0])  # x beyond domain clamps to top

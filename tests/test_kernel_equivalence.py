@@ -22,6 +22,8 @@ behavioral change ever lands, re-capture with::
 import hashlib
 import random
 
+from repro.sim.events import schedule_fuzz
+
 from repro.core.cluster import ClusterConfig, MindCluster
 from repro.core.mind_node import MindConfig
 from repro.core.query import RangeQuery
@@ -32,9 +34,11 @@ from repro.traffic.indices import index1_schema
 
 NODES = 24
 
-#: sha256 of the canonical run transcript, captured from the pre-scale
-#: kernel/network implementation (see module docstring).
-GOLDEN_DIGEST = "d4f85ec35e81b871d1c2fb16a299bf6fcc7f6fc6bfc8449af823de6651321670"
+#: sha256 of the canonical run transcript (see module docstring).  Last
+#: re-captured for the stale-neighbor-code healing change: heartbeats now
+#: echo the receiver's believed code and trigger corrective beacons, which
+#: shifts message counts and per-link stats.
+GOLDEN_DIGEST = "82e238d0855a0a820e81e2f9649ff761c28ce551bdba26af543233f873c3bfcd"
 
 
 def run_scenario(**cluster_kwargs):
@@ -128,7 +132,11 @@ def scenario_digest(**cluster_kwargs) -> str:
 
 
 def test_seeded_run_matches_pre_scale_golden():
-    assert scenario_digest() == GOLDEN_DIGEST
+    # The digest pins one specific tie-break order; keep it meaningful
+    # under a schedule-fuzzed suite run by forcing the default order.
+    with schedule_fuzz("off"):
+        digest = scenario_digest()
+    assert digest == GOLDEN_DIGEST
 
 
 def test_calendar_and_heap_engines_agree():
