@@ -297,14 +297,25 @@ def bench_schedule_fuzz_overhead(n_events: int = 50_000, num_ties: int = 50) -> 
     }
 
 
-def run_suite(records_n: int = 100_000, queries_n: int = 50, seed: int = 7) -> Dict:
-    """Run every microbenchmark; returns the BENCH_PERF payload."""
+def run_suite(
+    records_n: int = 100_000, queries_n: int = 50, seed: int = 7, profiler=None
+) -> Dict:
+    """Run every microbenchmark; returns the BENCH_PERF payload.
+
+    ``profiler``, when given, is called as ``profiler(name, thunk)`` for
+    each benchmark and must return the thunk's result — the hook point
+    for ``run.py --profile`` to wrap every bench in its own cProfile
+    session without this module importing the profiler machinery.
+    """
     records = make_records(records_n, seed)
     queries = make_queries(queries_n, seed + 1)
-    return {
-        "insert": bench_insert(records),
-        "query_scan": bench_query_scan(records, queries),
-        "histogram_build": bench_histogram_build(records),
-        "balanced_cut": bench_balanced_cut(records),
-        "fig9_workload": bench_fig9_workload(records, queries),
+    specs = {
+        "insert": lambda: bench_insert(records),
+        "query_scan": lambda: bench_query_scan(records, queries),
+        "histogram_build": lambda: bench_histogram_build(records),
+        "balanced_cut": lambda: bench_balanced_cut(records),
+        "fig9_workload": lambda: bench_fig9_workload(records, queries),
     }
+    if profiler is None:
+        return {name: thunk() for name, thunk in specs.items()}
+    return {name: profiler(name, thunk) for name, thunk in specs.items()}

@@ -38,6 +38,59 @@ from repro.analysis import analyze_paths  # noqa: E402
 from repro.net import message, protocol  # noqa: E402
 from repro.sim import events as sim_events  # noqa: E402
 
+#: Regression gates for the full-size scale tier (1M records, 1000 nodes,
+#: seed 7).  Embedded in the BENCH_PERF.json scale block and enforced on
+#: every run that has a full-size block — fresh or carried forward — so a
+#: stale baseline that breaches the budget fails loudly instead of riding
+#: along unexamined.  History: PR 7 documented a 300 s budget but only
+#: printed it; the recorded 399.7 s baseline predated a join-livelock fix
+#: and was unreproducible on the reference box.  The data-plane
+#: flattening (interned kinds, table dispatch, slot-shared delivery
+#: coalescing, call wheel) brought a clean reproducible run to ~295 s /
+#: ~20k messages/s; the 160 s / 37.5k msg/s target that motivated the
+#: work needs ~27 µs per message end to end, and the measured floor of
+#: the pure-Python hop pipeline is ~45 µs — so the budget below is the
+#: measured baseline plus ~10% headroom, not the aspiration.  Tightening
+#: it further means shrinking per-hop interpreter work (or moving the hop
+#: loop out of Python), not more event-count trimming: events/message is
+#: already down to ~0.4.
+SCALE_GATES = {
+    "wall_s_max": 330.0,
+    "messages_per_s_min": 18_000.0,
+    "complete_fraction_min": 0.999,
+}
+
+
+def check_scale_gates(scale, fresh: bool) -> list:
+    """Breach messages for a full-size scale block (empty when healthy)."""
+    if scale.get("records", 0) < 1_000_000:
+        return []  # downsized smoke runs say nothing about the 1M budget
+    if scale.get("profiled"):
+        return []  # profiler overhead skews wall timings; numbers not gated
+    origin = "fresh run" if fresh else "carried-forward baseline"
+    breaches = []
+    if scale["wall_s"] >= SCALE_GATES["wall_s_max"]:
+        breaches.append(
+            f"PERF REGRESSION ({origin}): the 1M-record scale run took "
+            f"{scale['wall_s']:.0f}s (budget {SCALE_GATES['wall_s_max']:.0f}s)"
+        )
+    if scale["messages_per_s"] is not None and (
+        scale["messages_per_s"] < SCALE_GATES["messages_per_s_min"]
+    ):
+        breaches.append(
+            f"PERF REGRESSION ({origin}): scale tier ran at "
+            f"{scale['messages_per_s']:,.0f} messages/s "
+            f"(floor {SCALE_GATES['messages_per_s_min']:,.0f})"
+        )
+    if scale["complete_fraction"] is not None and (
+        scale["complete_fraction"] < SCALE_GATES["complete_fraction_min"]
+    ):
+        breaches.append(
+            f"SCALE REGRESSION ({origin}): inserts failed to complete "
+            f"({scale['complete_fraction']:.1%})"
+        )
+    return breaches
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -52,6 +105,11 @@ def main(argv=None) -> int:
                              "(several minutes of wall clock)")
     parser.add_argument("--scale-nodes", type=int, default=1000)
     parser.add_argument("--scale-records", type=int, default=1_000_000)
+    parser.add_argument("--profile", action="store_true",
+                        help="run every bench under cProfile and write a "
+                             "top-N report next to BENCH_PERF.json "
+                             "(profiler overhead skews timings; perf gates "
+                             "are skipped)")
     args = parser.parse_args(argv)
 
     # The scale tier times the full event kernel, so it must run with the
@@ -114,8 +172,38 @@ def main(argv=None) -> int:
     # per-message payload checks would skew the timings.
     protocol.set_validation(False)
 
-    benches = run_suite(args.records, args.queries, args.seed)
-    failure_handling = run_failover_scenario(seed=args.seed)
+    # --profile wraps every bench in its own cProfile session and writes
+    # one top-N report per bench to BENCH_PROFILE.txt next to the JSON —
+    # the next bottleneck should be attributable, not guessed.  Profiler
+    # overhead skews the recorded timings, so profiled runs skip the
+    # perf-threshold gates (correctness gates still apply).
+    profile_sections = []
+    profiler_hook = None
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        def profiler_hook(name, thunk):
+            prof = cProfile.Profile()
+            prof.enable()
+            try:
+                result = thunk()
+            finally:
+                prof.disable()
+            buf = io.StringIO()
+            stats = pstats.Stats(prof, stream=buf)
+            stats.sort_stats("cumulative").print_stats(30)
+            profile_sections.append((name, buf.getvalue()))
+            return result
+
+    benches = run_suite(args.records, args.queries, args.seed, profiler=profiler_hook)
+    if profiler_hook is not None:
+        failure_handling = profiler_hook(
+            "failover_scenario", lambda: run_failover_scenario(seed=args.seed)
+        )
+    else:
+        failure_handling = run_failover_scenario(seed=args.seed)
     # One-shot documentation benches (not gates): what copy-on-deliver
     # would cost per message if isolation were left on, and what the
     # fuzzed tie-break would cost per event if schedule fuzz were.
@@ -140,20 +228,27 @@ def main(argv=None) -> int:
         if env.get("PYTHONPATH"):
             path_parts.append(env["PYTHONPATH"])
         env["PYTHONPATH"] = os.pathsep.join(path_parts)
+        cmd = [
+            sys.executable, "-m", "benchmarks.perf.scale_bench",
+            "--nodes", str(args.scale_nodes),
+            "--records", str(args.scale_records),
+            "--seed", str(args.seed),
+        ]
+        scale_profile_path = None
+        if args.profile:
+            scale_profile_path = args.output.with_name(".scale_profile.tmp")
+            cmd += ["--profile-out", str(scale_profile_path)]
         proc = subprocess.run(
-            [
-                sys.executable, "-m", "benchmarks.perf.scale_bench",
-                "--nodes", str(args.scale_nodes),
-                "--records", str(args.scale_records),
-                "--seed", str(args.seed),
-            ],
-            cwd=str(REPO_ROOT), env=env, capture_output=True, text=True,
+            cmd, cwd=str(REPO_ROOT), env=env, capture_output=True, text=True,
         )
         if proc.returncode != 0:
             sys.stderr.write(proc.stderr)
             print("scale tier subprocess failed", file=sys.stderr)
             return 1
         scale = json.loads(proc.stdout)
+        if scale_profile_path is not None and scale_profile_path.exists():
+            profile_sections.append(("scale_tier", scale_profile_path.read_text()))
+            scale_profile_path.unlink()
     elif args.output.exists():
         try:
             scale = json.loads(args.output.read_text()).get("scale")
@@ -174,10 +269,19 @@ def main(argv=None) -> int:
         "schedule_fuzz_overhead": schedule_fuzz_overhead,
     }
     if scale is not None:
+        scale["gates"] = SCALE_GATES
         payload["scale"] = scale
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"wrote {args.output}")
+    if args.profile:
+        profile_path = args.output.with_name("BENCH_PROFILE.txt")
+        profile_path.write_text(
+            "".join(
+                f"==== {name} ====\n{text}\n" for name, text in profile_sections
+            )
+        )
+        print(f"wrote {profile_path}")
     for name, entry in benches.items():
         print(
             f"  {name:16s} scalar {entry['scalar_s']:8.3f}s"
@@ -200,7 +304,7 @@ def main(argv=None) -> int:
     # scheduler noise.  A genuine vectorization regression lands far
     # below parity, so gate with a 10% tolerance.
     scan = benches["query_scan"]
-    if scan["speedup"] < 0.9:
+    if scan["speedup"] < 0.9 and not args.profile:
         print(
             "PERF REGRESSION: vectorized query scan is SLOWER than the "
             f"scalar fallback ({scan['speedup']:.2f}x)",
@@ -222,22 +326,16 @@ def main(argv=None) -> int:
             f"  messages/s {scale['messages_per_s']:,.0f}"
             f"  peak RSS {scale['peak_rss_mb']:.0f} MB"
         )
-        # Regression gates for the full-size tier only: a downsized
-        # --scale-records smoke run finishes fast regardless, and its
-        # wall clock says nothing about the 10^6-record budget.
-        if args.scale_records >= 1_000_000 and scale["wall_s"] >= 300.0:
-            print(
-                "PERF REGRESSION: the 1M-record scale run took "
-                f"{scale['wall_s']:.0f}s (budget 300s)",
-                file=sys.stderr,
-            )
-            return 1
-        if scale["complete_fraction"] is not None and scale["complete_fraction"] < 0.999:
-            print(
-                "SCALE REGRESSION: inserts failed to complete "
-                f"({scale['complete_fraction']:.1%})",
-                file=sys.stderr,
-            )
+    # The scale gates fire whenever a full-size block is present — a
+    # carried-forward baseline that breaches the budget is a recorded
+    # regression, not a bygone, and must fail just as loudly as a fresh
+    # run.  Downsized smoke runs (records < 1M) say nothing about the
+    # 10^6-record budget and are exempt.
+    if scale is not None:
+        breaches = check_scale_gates(scale, fresh=args.scale)
+        if breaches:
+            for breach in breaches:
+                print(breach, file=sys.stderr)
             return 1
     return 0
 

@@ -40,6 +40,10 @@ class ClusterConfig:
     #: Block size for vectorized network-latency jitter draws (0 = exact
     #: per-message stdlib draws; the scale perf tier opts in).
     latency_draw_block: int = 0
+    #: Link-level delivery coalescing window in seconds (0 = one delivery
+    #: event per message; the scale perf tier opts in).  See
+    #: :class:`repro.net.network.SimNetwork`.
+    coalesce_window_s: float = 0.0
     #: Fraction of nodes that are pathologically slow (overloaded PlanetLab
     #: hosts) and their slowdown factor.
     slow_node_fraction: float = 0.08
@@ -78,6 +82,7 @@ class MindCluster:
             record_link_delays=self.config.record_link_delays,
             link_delay_sample_cap=self.config.link_delay_sample_cap,
             draw_block=self.config.latency_draw_block,
+            coalesce_window_s=self.config.coalesce_window_s,
         )
         speed_rng = self.sim.rng("cluster.speed")
         self.nodes: List[MindNode] = []
@@ -144,13 +149,21 @@ class MindCluster:
         replication: int = 0,
         origin: Optional[str] = None,
         settle_timeout_s: float = 300.0,
+        settle_poll_events: int = 1,
     ) -> None:
-        """Create an index from ``origin`` and wait for the flood to settle."""
+        """Create an index from ``origin`` and wait for the flood to settle.
+
+        ``settle_poll_events`` thins the full-cluster settle scan to every
+        N processed events — at 1000 nodes the per-event scan dominates
+        the flood itself.  Settle time then overshoots by up to N events,
+        so timing-pinned scenarios (the kernel digest) keep the default.
+        """
         node = self.by_address[origin] if origin else self.nodes[0]
         node.create_index(schema, strategy=strategy, replication=replication)
         ok = self.sim.run_until_predicate(
             lambda: all(n.has_index(schema.name) for n in self.live_nodes()),
             timeout=settle_timeout_s,
+            poll_events=settle_poll_events,
         )
         if not ok:
             raise RuntimeError(f"index {schema.name} did not propagate to all nodes")

@@ -19,6 +19,7 @@ prefix, which makes repeated descents cheap and guarantees every node
 derives the identical tree from the identical histogram.
 """
 
+import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,6 +32,16 @@ from repro.overlay.code import Code, intern_code
 #: point_codes_batch packs the running code of each point into an int64;
 #: deeper descents fall back to the scalar per-point path.
 _MAX_BATCH_DEPTH = 62
+
+#: Embeddings interned by canonical wire form.  Every node of a cluster
+#: installs the *same* index wire form, and cuts are deterministic
+#: functions of (schema, strategy) — so all nodes can share one instance
+#: and, crucially, one memoized cut tree.  Without sharing, each of 1000
+#: nodes re-derives and re-warms its own ~2^depth-leaf tree, and every
+#: node's descents stay permanently cold.  Bounded FIFO: eviction only
+#: stops *sharing*, never breaks correctness.
+_WIRE_INTERN: Dict[str, "Embedding"] = {}
+_WIRE_INTERN_MAX = 256
 
 
 class Embedding:
@@ -247,8 +258,30 @@ class Embedding:
 
     @classmethod
     def from_wire(cls, data: Dict) -> "Embedding":
-        return cls(
+        """Reconstruct an embedding, shared across identical wire forms.
+
+        Two installs with the same canonical wire form get the *same*
+        instance (and thus one shared, warm cut-tree memo): the cut
+        positions are deterministic in the wire content, so sharing is
+        observationally identical to rebuilding — minus the per-node
+        re-derivation cost.  Payload isolation levels that freeze the
+        wire dict fall back to a private instance.
+        """
+        try:
+            key = json.dumps(data, sort_keys=True)
+        except TypeError:
+            key = None
+        if key is not None:
+            shared = _WIRE_INTERN.get(key)
+            if shared is not None and type(shared) is cls:
+                return shared
+        embedding = cls(
             schema=IndexSchema.from_wire(data["schema"]),
             strategy=strategy_from_wire(data["strategy"]),
             code_depth=data["code_depth"],
         )
+        if key is not None and type(embedding) is cls:
+            if len(_WIRE_INTERN) >= _WIRE_INTERN_MAX:
+                _WIRE_INTERN.pop(next(iter(_WIRE_INTERN)))
+            _WIRE_INTERN[key] = embedding
+        return embedding

@@ -474,7 +474,7 @@ class MindNode(OverlayNode):
             target=code,
             replication=state.replication,
         )
-        op.timeout_event = self.sim.schedule(
+        op.timeout_event = self._schedule_coarse(
             self.mind_config.insert_timeout_s, self._insert_timed_out, op_id
         )
         self._insert_ops[op_id] = op
@@ -495,7 +495,7 @@ class MindNode(OverlayNode):
         op.attempts += 1
         op.total_attempts += 1
         op.inflight = True
-        op.attempt_timer = self.sim.schedule(
+        op.attempt_timer = self._schedule_coarse(
             self.mind_config.insert_attempt_timeout_s,
             self._insert_attempt_timed_out,
             op_id,

@@ -7,7 +7,7 @@ from typing import Any, Dict, Sequence, Tuple
 _RECORD_IDS = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Record:
     """One multi-dimensional data item.
 
@@ -15,6 +15,10 @@ class Record:
     carries the non-indexed attributes (e.g. source prefix, monitor node).
     ``key`` uniquely identifies the record across primaries and replicas, so
     result sets can be compared for recall and deduplicated.
+
+    Slotted: stores retain one instance per stored record — 10^6 of them
+    in the scale tier — and the per-instance ``__dict__`` was a third of
+    peak RSS there.
     """
 
     values: Tuple[float, ...]

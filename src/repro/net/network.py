@@ -36,7 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net import message as message_mod
 from repro.net.latency import LatencyModel
-from repro.net.message import Message
+from repro.net.message import HEADER_BYTES, Message
 from repro.net.topology import Site
 from repro.sim.kernel import Simulator
 
@@ -134,6 +134,19 @@ class SimNetwork:
         Per-link bound on retained delay samples; when a link reaches the
         cap its series is thinned to every other sample and the sampling
         stride doubles.  ``None`` disables the bound.
+    coalesce_window_s:
+        Link-level delivery coalescing (0 = off, the default).  When set,
+        messages sharing a directed link whose sampled delivery times land
+        in the same window are delivered by a single drain event at the
+        window boundary instead of one event per message.  The latency and
+        bandwidth model is unchanged — each message still gets its own
+        serialization slot and latency draw, and a message is never
+        delivered *earlier* than its sampled delivery time; it is deferred
+        by at most one window (delivery lands at the next boundary).
+        Within a batch messages deliver in send order at one simulated
+        instant, destination liveness is re-checked per message at drain
+        time, and a destination that died before the drain fails exactly
+        the undelivered messages' ``on_fail`` callbacks.
     """
 
     def __init__(
@@ -146,6 +159,7 @@ class SimNetwork:
         record_link_delays: bool = False,
         link_delay_sample_cap: Optional[int] = 8192,
         draw_block: int = 0,
+        coalesce_window_s: float = 0.0,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth_bps must be positive")
@@ -153,6 +167,8 @@ class SimNetwork:
             raise ValueError("link_delay_sample_cap must be >= 2 (or None)")
         if draw_block < 0:
             raise ValueError("draw_block must be >= 0")
+        if coalesce_window_s < 0:
+            raise ValueError("coalesce_window_s must be >= 0")
         self.sim = sim
         self.sites = dict(sites)
         self.latency = latency_model or LatencyModel()
@@ -160,6 +176,25 @@ class SimNetwork:
         self.fail_detect_s = fail_detect_s
         self.record_link_delays = record_link_delays
         self.link_delay_sample_cap = link_delay_sample_cap
+        self.coalesce_window_s = coalesce_window_s
+        #: Pending coalesced deliveries, batched per link and arrival
+        #: window: ``(link_id, window_index) -> [(msg, on_fail), ...]``.
+        self._outbox: Dict[Tuple[int, int], List[Tuple[Message, Optional[FailFn]]]] = {}
+        #: Window index -> outbox keys with traffic in that window.  The
+        #: whole window shares ONE drain event (not one per link): at
+        #: monitoring rates most links carry at most one message per
+        #: window, so per-link drain events would re-create the
+        #: one-kernel-event-per-message regime the outbox exists to
+        #: avoid.  Links drain in first-traffic order and each batch in
+        #: send order — the exact sequence per-link drain events at the
+        #: same boundary timestamp would produce.
+        self._slot_links: Dict[int, List[Tuple[int, int]]] = {}
+        #: Window index -> deferred ``fn(arg)`` calls (``call_in_slot``).
+        #: The receive-side twin of the delivery outbox: nodes park their
+        #: post-service dispatch callbacks here so a window's worth of
+        #: handler executions shares one kernel event instead of one
+        #: per message.
+        self._call_wheel: Dict[int, List[Tuple[Callable[..., None], Tuple[Any, ...]]]] = {}
 
         self._endpoints: Dict[str, DeliverFn] = {}
         self._node_up: Dict[str, bool] = {}
@@ -357,7 +392,7 @@ class SimNetwork:
         ``tuples`` counts how many index records the message carries, feeding
         the per-link traffic accounting of Figure 12.
         """
-        msg = Message(src=src, dst=dst, kind=kind, payload=payload or {}, size_bytes=size_bytes)
+        msg = Message.frame(src, dst, kind, payload if payload is not None else {}, size_bytes)
         return self._transmit(msg, tuples, on_fail)
 
     def resend(
@@ -406,7 +441,7 @@ class SimNetwork:
         if link_id is None:
             link_id = self._link_id(src, dst)
         now = self.sim.now
-        wire = msg.wire_size
+        wire = msg.size_bytes + HEADER_BYTES
         transmission = wire * 8.0 / self.bandwidth_bps
         busy = self._lk_busy_until
         start = busy[link_id]
@@ -459,8 +494,82 @@ class SimNetwork:
                 delivery_time - now,
             )
 
-        self.sim.push_at(delivery_time, self._deliver, (msg, on_fail))
+        window = self.coalesce_window_s
+        if window == 0.0:
+            self.sim.push_at(delivery_time, self._deliver, (msg, on_fail))
+            return msg
+        # Coalesced path: defer delivery to the end of the window the
+        # sampled delivery time falls in, sharing one drain event with
+        # every other message on this link arriving in the same window.
+        slot = int(delivery_time / window) + 1
+        key = (link_id, slot)
+        batch = self._outbox.get(key)
+        if batch is None:
+            self._outbox[key] = [(msg, on_fail)]
+            keys = self._slot_links.get(slot)
+            if keys is None:
+                self._slot_links[slot] = [key]
+                self.sim.push_at(slot * window, self._drain_slot, (slot,))
+            else:
+                keys.append(key)
+        else:
+            batch.append((msg, on_fail))
         return msg
+
+    #: Hot-path entry for senders that already framed their Message (the
+    #: overlay's ``_send`` builds one per send anyway): same body as
+    #: :meth:`send` minus the framing, with no wrapper frame in between.
+    #: Callers pass ``(msg, tuples, on_fail)``.
+    send_framed = _transmit
+
+    def _drain_slot(self, slot: int) -> None:
+        """Deliver one window's per-link batches; per-message failure.
+
+        A destination that died since the messages were sent fails exactly
+        the batch's undelivered messages — each message's own ``on_fail``
+        fires, mirroring the per-message delivery path.
+        """
+        outbox = self._outbox
+        up = self._up_endpoints
+        level = message_mod._isolation
+        for key in self._slot_links.pop(slot):
+            for msg, on_fail in outbox.pop(key):
+                deliver = up.get(msg.dst)
+                if deliver is None:
+                    self._fail(msg, "peer-down", on_fail, immediate=True)
+                    continue
+                self.messages_delivered += 1
+                if level != message_mod.ISOLATE_OFF:
+                    msg = msg.clone(level=level)
+                deliver(msg)
+
+    def call_in_slot(self, time: float, fn: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        """Run ``fn(*args)`` at ``time`` rounded up to the next window boundary.
+
+        The receive-side twin of delivery coalescing: nodes use this for
+        post-service dispatch callbacks and self-guarding watchdog
+        timers, so one kernel event drains a whole window's worth of
+        callbacks instead of costing one event each.  Same contract as
+        ``_transmit``'s coalesced branch — the call is deferred by
+        strictly less than one window, never runs early, and calls
+        sharing a slot run in schedule order.  There is no cancel
+        handle: the call always fires, so callbacks must tolerate being
+        stale (every kernel timer here is already written that way for
+        lazy cancellation).  Callers must only use this when
+        ``coalesce_window_s`` is non-zero.
+        """
+        window = self.coalesce_window_s
+        slot = int(time / window) + 1
+        batch = self._call_wheel.get(slot)
+        if batch is None:
+            self._call_wheel[slot] = [(fn, args)]
+            self.sim.push_at(slot * window, self._drain_calls, (slot,))
+        else:
+            batch.append((fn, args))
+
+    def _drain_calls(self, slot: int) -> None:
+        for fn, args in self._call_wheel.pop(slot):
+            fn(*args)
 
     # ------------------------------------------------------------------
     # Internals

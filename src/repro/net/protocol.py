@@ -228,6 +228,39 @@ ROUTED: Dict[str, MessageKind] = dict(
 )
 
 
+# ----------------------------------------------------------------------
+# Dense integer kind ids (the data-plane fast path)
+# ----------------------------------------------------------------------
+#: Direct kinds in registry order, interned to dense integer ids.  A
+#: :class:`~repro.net.message.Message` carries ``kind_id`` next to the
+#: string ``kind``, and per-node handler tables are flat lists indexed by
+#: it, so the per-receive dispatch is one list read instead of a string
+#: dict probe (and a fallback chain).  Ids are an in-process artifact —
+#: nothing about them crosses the (simulated) wire — and registry order
+#: is fixed at import, so they are stable within a run by construction.
+KIND_IDS: Dict[str, int] = {name: i for i, name in enumerate(REGISTRY)}
+
+#: Kind names (and declarations) by dense id, for tracing and read-outs.
+KIND_BY_ID: Tuple[MessageKind, ...] = tuple(REGISTRY.values())
+
+#: Number of registered direct kinds == length of a full dispatch table.
+NUM_KINDS: int = len(REGISTRY)
+
+#: Sentinel id for a kind missing from :data:`REGISTRY`.  Dispatch tables
+#: are sized ``NUM_KINDS + 1`` with the last slot always empty, so an
+#: unknown kind indexes the empty slot and takes the error path without a
+#: bounds check (``table[-1]`` would silently alias the last real kind).
+UNKNOWN_KIND_ID: int = NUM_KINDS
+
+#: Routed kinds (``route`` envelope ``inner_kind`` values), same scheme.
+ROUTED_IDS: Dict[str, int] = {name: i for i, name in enumerate(ROUTED)}
+
+
+def kind_id(kind: str) -> int:
+    """The dense id of a direct kind (:data:`UNKNOWN_KIND_ID` if absent)."""
+    return KIND_IDS.get(kind, UNKNOWN_KIND_ID)
+
+
 def lookup(kind: str) -> Optional[MessageKind]:
     """The declaration for a direct kind, or ``None`` if unregistered."""
     return REGISTRY.get(kind)

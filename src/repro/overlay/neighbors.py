@@ -87,7 +87,13 @@ class NeighborTable:
     def addresses(self, alive_only: bool = False) -> List[str]:
         return [addr for addr, _ in self.entries(alive_only=alive_only)]
 
-    def dimension_neighbors(self, my_code: Code, dim: int, alive_only: bool = True) -> List[Tuple[str, Code]]:
+    def dimension_neighbors(
+        self,
+        my_code: Code,
+        dim: int,
+        alive_only: bool = True,
+        _entries: Optional[List[Tuple[str, Code]]] = None,
+    ) -> List[Tuple[str, Code]]:
         """Peers adjacent across hypercube dimension ``dim``.
 
         In an incomplete hypercube the dimension-``dim`` neighbors of a node
@@ -98,17 +104,36 @@ class NeighborTable:
         dimension; when the opposite subtree is one level deeper there are
         two (e.g. node ``00`` links to both ``010`` and ``011``).
         """
-        if not 0 <= dim < len(my_code):
+        my_len = my_code._len
+        if not 0 <= dim < my_len:
             raise IndexError(f"dimension {dim} out of range for code {my_code}")
-        target = my_code.prefix(dim + 1).flip(dim)
-        my_suffix = Code(my_code.bits[dim + 1 :])
+        # All of the prefix algebra below runs on the integer mirrors:
+        # ``links()`` rebuilds call this once per dimension, and the
+        # Code-object formulation (prefix/flip/suffix construction per
+        # candidate peer) allocated about one Code per routed message at
+        # cluster scale.
+        t_len = dim + 1
+        t_num = (my_code._num >> (my_len - t_len)) ^ 1  # my[:dim+1], bit dim flipped
+        my_suf_len = my_len - t_len
+        my_suf_num = my_code._num & ((1 << my_suf_len) - 1)
+        # ``hypercube_neighbors`` pre-filters the live entries once and
+        # passes them for all of its per-dimension calls.
+        if _entries is None:
+            _entries = self.entries(alive_only=alive_only)
         result = []
-        for addr, code in self.entries(alive_only=alive_only):
-            if code.is_prefix_of(target):
-                result.append((addr, code))
-            elif target.is_prefix_of(code):
-                peer_suffix = Code(code.bits[dim + 1 :])
-                if peer_suffix.comparable(my_suffix):
+        for addr, code in _entries:
+            c_len = code._len
+            c_num = code._num
+            if c_len <= t_len:
+                if (t_num >> (t_len - c_len)) == c_num:  # code covers target
+                    result.append((addr, code))
+            elif (c_num >> (c_len - t_len)) == t_num:  # target covers code
+                p_suf_len = c_len - t_len
+                p_suf_num = c_num & ((1 << p_suf_len) - 1)
+                if p_suf_len <= my_suf_len:
+                    if (my_suf_num >> (my_suf_len - p_suf_len)) == p_suf_num:
+                        result.append((addr, code))
+                elif (p_suf_num >> (p_suf_len - my_suf_len)) == my_suf_num:
                     result.append((addr, code))
         return result
 
@@ -119,8 +144,11 @@ class NeighborTable:
         and the candidate set for replica placement and takeover.
         """
         seen: Dict[str, Code] = {}
+        entries = self.entries(alive_only=alive_only)
         for dim in range(len(my_code)):
-            for addr, code in self.dimension_neighbors(my_code, dim, alive_only=alive_only):
+            for addr, code in self.dimension_neighbors(
+                my_code, dim, alive_only=alive_only, _entries=entries
+            ):
                 seen[addr] = code
         return list(seen.items())
 

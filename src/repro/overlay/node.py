@@ -17,6 +17,8 @@ behind the paper's long latency tails (Figures 7, 8, 11).  Per-node
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.net import message as message_mod
+from repro.net import protocol
 from repro.net.message import Message, thaw_payload
 from repro.net.network import SimNetwork
 from repro.overlay.code import Code, intern_code
@@ -139,6 +141,9 @@ class OverlayNode:
         # Bound once: ``_deliver`` draws one service-jitter sample per
         # delivered message, and the attribute chain is measurable there.
         self._lognormvariate = self._rng.lognormvariate
+        #: Per-message service cost before jitter, folded once — both
+        #: factors are fixed at construction.
+        self._service_scale = self.config.service_time_s * self.speed_factor
         #: Block-drawn service jitters (``None`` = per-message stdlib
         #: draws; a list when ``config.service_draw_block`` opts in).
         self._jitter_buf: Optional[List[float]] = None
@@ -172,10 +177,16 @@ class OverlayNode:
             "adopt_probe_ack": self._on_adopt_probe_ack,
             "adopt_probe_dead": self._on_adopt_probe_dead,
         }
-        # Subclass handler table, resolved lazily on the first dispatch of
-        # a non-core kind — ``extra_handlers()`` builds a fresh dict of
-        # bound methods, far too expensive to redo per message.
-        self._extra_handlers_cache: Optional[Dict[str, Callable[[Message], None]]] = None
+        # Flat dispatch table indexed by ``Message.kind_id``, built once on
+        # the first dispatch (``extra_handlers()`` needs the subclass
+        # __init__ to have finished) from ``_handlers`` + ``extra_handlers()``.
+        # A table index replaces two string dict probes per received
+        # message.  Slot ``UNKNOWN_KIND_ID`` (the last one) stays ``None``
+        # so unregistered kinds fall into the error path without a bounds
+        # check; handlers for kinds outside the wire registry (test-only
+        # kinds) keep working via the string-keyed overflow dict.
+        self._dispatch_table: Optional[List[Optional[Callable[[Message], None]]]] = None
+        self._dispatch_overflow: Dict[str, Callable[[Message], None]] = {}
         # Routing-decision memo, keyed by target bits and valid only for
         # the link list it was computed against (identity-checked: links()
         # returns a new list object whenever the link set changes).
@@ -350,7 +361,11 @@ class OverlayNode:
         size = size_bytes if size_bytes is not None else self.config.control_msg_bytes
         if self.config.hb_suppress_s is not None:
             self._last_sent[dst] = self.sim.now
-        self.network.send(self.address, dst, kind, payload, size_bytes=size, tuples=tuples, on_fail=on_fail)
+        # Frame here and skip network.send's wrapper frame: this path runs
+        # once per message and the extra call is measurable at 10^7 sends.
+        self.network.send_framed(
+            Message.frame(self.address, dst, kind, payload, size), tuples, on_fail
+        )
 
     def _deliver(self, msg: Message) -> None:
         if not self.active:
@@ -363,9 +378,33 @@ class OverlayNode:
             jitter = buf.pop()
         else:
             jitter = self._refill_service_jitter()
-        service = self.config.service_time_s * self.speed_factor * jitter
-        self._cpu_busy_until = start + service
-        self.sim.push_at(self._cpu_busy_until, self._dispatch, (msg,))
+        self._cpu_busy_until = start + self._service_scale * jitter
+        if self.network.coalesce_window_s:
+            # Receive-side coalescing: park the dispatch on the network's
+            # call wheel so a window's worth of handler runs shares one
+            # kernel event.  Same bounded-deferral contract as delivery
+            # coalescing; per-node FIFO holds because busy times increase.
+            self.network.call_in_slot(self._cpu_busy_until, self._dispatch, (msg,))
+        else:
+            self.sim.push_at(self._cpu_busy_until, self._dispatch, (msg,))
+
+    def _schedule_coarse(self, delay: float, fn: Callable[..., None], *args: Any):
+        """Schedule a *self-guarding* callback, coarsely when coalescing is on.
+
+        For per-operation watchdogs that are almost always cancelled: with
+        coalescing enabled the callback rides the network call wheel —
+        no kernel event of its own, no cancel handle (returns ``None``),
+        and it fires unconditionally up to one window late, so the
+        callback's own staleness guard must absorb spurious fires.  Every
+        timer routed here is already written that way (lazy kernel
+        cancellation imposes the same discipline).  Without coalescing
+        this is an exact kernel timer and returns its cancellable Event.
+        """
+        net = self.network
+        if net.coalesce_window_s:
+            net.call_in_slot(self.sim.now + delay, fn, args)
+            return None
+        return self.sim.schedule(delay, fn, *args)
 
     def _refill_service_jitter(self) -> float:
         buf = self._np_service.lognormal(
@@ -374,6 +413,20 @@ class OverlayNode:
         last = buf.pop()
         self._jitter_buf = buf
         return last
+
+    def _build_dispatch_table(self) -> List[Optional[Callable[[Message], None]]]:
+        """Flatten ``_handlers`` + ``extra_handlers()`` into a kind-id table."""
+        table: List[Optional[Callable[[Message], None]]] = [None] * (protocol.NUM_KINDS + 1)
+        kind_ids = protocol.KIND_IDS
+        for source in (self._handlers, self.extra_handlers()):
+            for kind, handler in source.items():
+                kid = kind_ids.get(kind)
+                if kid is None:
+                    self._dispatch_overflow[kind] = handler
+                else:
+                    table[kid] = handler
+        self._dispatch_table = table
+        return table
 
     def _dispatch(self, msg: Message) -> None:
         if not self.active:
@@ -384,14 +437,14 @@ class OverlayNode:
             # A peer we wrote off is talking again (it restarted or the
             # partition healed); let liveness re-learn it via joins.
             self._declared_dead.discard(msg.src)
-        handler = self._handlers.get(msg.kind)
+        table = self._dispatch_table
+        if table is None:
+            table = self._build_dispatch_table()
+        handler = table[msg.kind_id]
         if handler is None:
-            extra = self._extra_handlers_cache
-            if extra is None:
-                extra = self._extra_handlers_cache = self.extra_handlers()
-            handler = extra.get(msg.kind)
-        if handler is None:
-            raise ValueError(f"{self.address}: no handler for message kind {msg.kind!r}")
+            handler = self._dispatch_overflow.get(msg.kind)
+            if handler is None:
+                raise ValueError(f"{self.address}: no handler for message kind {msg.kind!r}")
         handler(msg)
 
     # ==================================================================
@@ -606,6 +659,18 @@ class OverlayNode:
                 self._send(incoming.host, "split_nack", {"round": incoming.round_id})
                 return
         pending = self._pending_prepare
+        if pending is not None and pending.host == incoming.host and pending.round_id != incoming.round_id:
+            # Same host, different round.  A host runs one split round at a
+            # time, so the higher round id proves the lower one is dead —
+            # per-message latencies are independent, and a round's abort can
+            # arrive *before* its own prepare, stranding a stale pending
+            # that no later abort matches.  Both rounds carry the same
+            # priority, so without this supersession the stale pending
+            # would nack every future round from its own host forever.
+            if incoming.round_id < pending.round_id:
+                self._send(incoming.host, "split_nack", {"round": incoming.round_id})
+                return
+            pending = None
         if pending is not None and (pending.host != incoming.host or pending.round_id != incoming.round_id):
             if incoming.priority() < pending.priority():
                 self._send(pending.host, "split_nack", {"round": pending.round_id})
@@ -617,7 +682,10 @@ class OverlayNode:
 
     def _on_split_abort(self, msg: Message) -> None:
         pending = self._pending_prepare
-        if pending is not None and pending.host == msg.payload.get("host") and pending.round_id == msg.payload.get("round"):
+        # An abort for round r also invalidates any *older* pending from the
+        # same host (rounds are serialized per host), covering reordered
+        # deliveries where the newer round's abort overtakes the older one's.
+        if pending is not None and pending.host == msg.payload.get("host") and pending.round_id <= msg.payload.get("round", -1):
             self._pending_prepare = None
 
     def _on_split_commit_notify(self, msg: Message) -> None:
@@ -691,26 +759,53 @@ class OverlayNode:
         envelope["exclude"] = list(envelope["exclude"])
         self._route_step(envelope, private_inner=False)
 
+    def _privatize_inner(self, envelope: Dict[str, Any]) -> None:
+        """Make a still-aliased ``envelope['inner']`` safe for non-routing code.
+
+        Only the ``freeze`` isolation level needs work: its read-only views
+        must be thawed back into mutable containers before arrival/failure/
+        recovery code consumes them.  Under ``copy`` the delivery clone
+        already made the whole payload private to this node, and under
+        ``off`` by-reference delivery *is* the contract (the aliasing lint
+        keeps handlers copy-clean) — both skip the deep thaw, which at
+        terminal hops otherwise dominates routed-insert cost.
+        """
+        if message_mod._isolation == message_mod.ISOLATE_FREEZE:
+            envelope["inner"] = thaw_payload(envelope["inner"])
+
     def _route_step(self, envelope: Dict[str, Any], private_inner: bool = True) -> None:
         """Advance one routing step.
 
         ``private_inner`` records whether ``envelope['inner']`` is already
         a private (or origin-owned) object; when ``False`` it still aliases
-        the in-flight message payload and must be thawed before anything
-        retains or consumes it — arrival, failure reporting, and ring
-        recovery below, each of which hands it to non-routing code.
+        the in-flight message payload and must be privatized before
+        anything retains or consumes it — arrival, failure reporting, and
+        ring recovery below, each of which hands it to non-routing code.
         """
         if not self.in_overlay():
             return
         target = intern_code(envelope["target"])
-        if self.covers(target):
+        # Arrival check: ``covers`` inlined on the integer code mirrors —
+        # it runs once per routed hop, and the steady state (no adopted
+        # regions) is a prefix comparison.
+        code = self.code
+        if self.adopted:
+            arrived = self.covers(target)
+        else:
+            c_len = code._len
+            t_len = target._len
+            m = c_len if c_len < t_len else t_len
+            arrived = m == 0 or (
+                (code._num >> (c_len - m)) ^ (target._num >> (t_len - m))
+            ) == 0
+        if arrived:
             if not private_inner:
-                envelope["inner"] = thaw_payload(envelope["inner"])
+                self._privatize_inner(envelope)
             self.on_route_arrival(envelope)
             return
         if envelope["hops"] >= self.config.route_ttl:
             if not private_inner:
-                envelope["inner"] = thaw_payload(envelope["inner"])
+                self._privatize_inner(envelope)
             self.on_route_failed(envelope, "ttl-exceeded")
             return
         links = self.links()
@@ -748,7 +843,7 @@ class OverlayNode:
                 decision = next_hop(self.code, target, links, visited=path)
         if decision.next_hop is None:
             if not private_inner:
-                envelope["inner"] = thaw_payload(envelope["inner"])
+                self._privatize_inner(envelope)
             self._start_ring_recovery(envelope)
             return
         if decision.next_hop in path:
@@ -761,7 +856,7 @@ class OverlayNode:
             # Expanding-ring recovery can escape through nodes outside
             # the cycle, so treat the revisit as a greedy dead end.
             if not private_inner:
-                envelope["inner"] = thaw_payload(envelope["inner"])
+                self._privatize_inner(envelope)
             self._start_ring_recovery(envelope)
             return
         self._forward(envelope, decision.next_hop, private_inner)

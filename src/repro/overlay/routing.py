@@ -22,12 +22,17 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.overlay.code import Code
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class RouteDecision:
     """Outcome of one routing step.
 
     ``arrived`` — this node owns (part of) the target region.
     ``next_hop`` — forward to this address, or ``None`` on a dead end.
+
+    Treated as immutable by every caller (decisions are memoized and the
+    two constant outcomes below are shared); not ``frozen=True`` because
+    the frozen ``__init__`` pays an ``object.__setattr__`` per field and
+    this constructor runs once per unmemoized routing decision.
     """
 
     arrived: bool
@@ -35,8 +40,8 @@ class RouteDecision:
     next_code: Optional[Code] = None
 
 
-#: The two constant outcomes, shared — frozen instances are safe to reuse,
-#: and ``next_hop`` runs once per unmemoized routing decision.
+#: The two constant outcomes, shared — safe to reuse since decisions are
+#: never mutated, and ``next_hop`` runs once per unmemoized decision.
 _ARRIVED = RouteDecision(arrived=True)
 _DEAD_END = RouteDecision(arrived=False, next_hop=None)
 

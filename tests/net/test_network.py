@@ -257,6 +257,91 @@ def test_link_delay_sample_cap_validated():
 
 
 # ----------------------------------------------------------------------
+# Link-level delivery coalescing
+# ----------------------------------------------------------------------
+
+
+def test_coalesced_window_validated():
+    with pytest.raises(ValueError):
+        make_net(coalesce_window_s=-0.001)
+
+
+def test_coalesced_batch_delivers_all_messages_at_window_boundary():
+    sim, net = make_net(coalesce_window_s=0.05)
+    arrivals = []
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: arrivals.append((sim.now, m.kind)))
+    for i in range(5):
+        net.send("a", "b", f"k{i}")
+    sim.run_until_idle()
+    assert [kind for _, kind in arrivals] == [f"k{i}" for i in range(5)]
+    assert net.messages_delivered == 5
+    # All five LAN deliveries land in the first window and drain together
+    # at its boundary — one simulated instant, one drain event.
+    times = {t for t, _ in arrivals}
+    assert len(times) == 1
+    assert next(iter(times)) == pytest.approx(0.05)
+
+
+def test_coalescing_batches_only_same_link_and_window():
+    sim, net = make_net(coalesce_window_s=0.05)
+    arrivals = []
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: arrivals.append(("b", sim.now)))
+    net.register("c", lambda m: arrivals.append(("c", sim.now)))
+    net.send("a", "b", "x")
+    net.send("a", "c", "x")  # different link, same window
+    sim.schedule_at(0.07, net.send, "a", "b", "x")  # same link, later window
+    sim.run_until_idle()
+    assert len(arrivals) == 3
+    assert arrivals[0][1] == arrivals[1][1] == pytest.approx(0.05)
+    assert arrivals[2] == ("b", pytest.approx(0.10))
+
+
+def test_coalesced_drain_fails_exactly_the_undelivered_messages():
+    # Satellite: the destination dies between two windows of a stream.
+    # The already-drained window's messages were delivered; every message
+    # still in the outbox fails with its *own* on_fail — per message, not
+    # per batch, and nothing on other links is touched.
+    sim, net = make_net(coalesce_window_s=0.05)
+    delivered = []
+    failures = []
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: delivered.append(m.kind))
+    net.register("c", lambda m: delivered.append(m.kind))
+
+    def fail(m, reason):
+        failures.append((m.kind, reason))
+
+    net.send("a", "b", "early1", on_fail=fail)
+    net.send("a", "b", "early2", on_fail=fail)
+    sim.schedule_at(0.06, lambda: net.send("a", "b", "late1", on_fail=fail))
+    sim.schedule_at(0.06, lambda: net.send("a", "b", "late2", on_fail=fail))
+    sim.schedule_at(0.06, lambda: net.send("a", "c", "other", on_fail=fail))
+    sim.schedule_at(0.08, net.set_node_up, "b", False)
+    sim.run_until_idle()
+
+    assert sorted(delivered) == ["early1", "early2", "other"]
+    assert sorted(failures) == [("late1", "peer-down"), ("late2", "peer-down")]
+    assert net.messages_delivered == 3
+    assert net.messages_failed == 2
+
+
+def test_coalesced_link_stats_match_per_message_accounting():
+    sim, net = make_net(coalesce_window_s=0.05, record_link_delays=True)
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: None)
+    for _ in range(4):
+        net.send("a", "b", "x", size_bytes=100, tuples=2)
+    sim.run_until_idle()
+    stats = net.link_stats[("a", "b")]
+    assert stats.messages == 4
+    assert stats.tuples == 8
+    assert stats.bytes == 4 * (100 + HEADER_BYTES)
+    assert len(stats.delay_samples) == 4
+
+
+# ----------------------------------------------------------------------
 # unregister() link-state pruning
 # ----------------------------------------------------------------------
 

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.net.message import Message
 from repro.overlay.code import Code
+from repro.overlay.join import PendingPrepare
 from repro.overlay.node import OverlayConfig
 
 from tests.helpers import assert_prefix_free_cover, build_overlay
@@ -66,6 +68,79 @@ def test_every_node_has_full_dimension_links():
             assert node.neighbors.dimension_neighbors(node.code, dim), (
                 f"{node.address} ({node.code}) missing dim-{dim} neighbor"
             )
+
+
+def _prepare_msg(host, neighbor, round_id):
+    return Message(
+        src=host.address,
+        dst=neighbor.address,
+        kind="split_prepare",
+        payload={
+            "host": host.address,
+            "host_code": host.code.bits,
+            "joiner": "ghost-joiner",
+            "round": round_id,
+        },
+    )
+
+
+def test_newer_round_from_same_host_supersedes_stale_pending():
+    # Per-message latencies are independent, so a round's split_abort can
+    # arrive *before* its own split_prepare: the late prepare then installs
+    # a pending that no future abort matches.  Since a same-host prepare
+    # carries the *same* priority, the stale pending used to nack every
+    # newer round from its own host forever — at 1000 nodes this livelocks
+    # the join (seed 7 reproduces it).  A newer round id from the same host
+    # proves the old round is dead and must supersede the stale pending.
+    sim, network, nodes = build_overlay(3, seed=1)
+    host, neighbor = nodes[0], nodes[2]
+    sent = []
+    neighbor._send = lambda dst, kind, payload=None, **kw: sent.append((dst, kind, payload))
+
+    neighbor._pending_prepare = PendingPrepare(
+        host=host.address, host_code=host.code, joiner="ghost-joiner", round_id=5
+    )
+    neighbor._on_split_prepare(_prepare_msg(host, neighbor, round_id=6))
+
+    assert neighbor._pending_prepare.round_id == 6
+    assert sent == [(host.address, "split_ack", {"round": 6})]
+
+
+def test_stale_prepare_from_dead_round_is_nacked():
+    # The mirror-image reorder: the *older* round's prepare arrives after a
+    # newer round is already pending.  The old round is dead; refuse it and
+    # keep the live pending.
+    sim, network, nodes = build_overlay(3, seed=1)
+    host, neighbor = nodes[0], nodes[2]
+    sent = []
+    neighbor._send = lambda dst, kind, payload=None, **kw: sent.append((dst, kind, payload))
+
+    neighbor._pending_prepare = PendingPrepare(
+        host=host.address, host_code=host.code, joiner="ghost-joiner", round_id=6
+    )
+    neighbor._on_split_prepare(_prepare_msg(host, neighbor, round_id=5))
+
+    assert neighbor._pending_prepare.round_id == 6
+    assert sent == [(host.address, "split_nack", {"round": 5})]
+
+
+def test_abort_clears_older_pending_from_same_host():
+    # An abort for round r invalidates any same-host pending with round <= r
+    # (rounds are serialized per host), so a reordered older pending cannot
+    # outlive the newer round's abort.
+    sim, network, nodes = build_overlay(3, seed=1)
+    host, neighbor = nodes[0], nodes[2]
+    neighbor._pending_prepare = PendingPrepare(
+        host=host.address, host_code=host.code, joiner="ghost-joiner", round_id=5
+    )
+    abort = Message(
+        src=host.address,
+        dst=neighbor.address,
+        kind="split_abort",
+        payload={"host": host.address, "round": 6},
+    )
+    neighbor._on_split_abort(abort)
+    assert neighbor._pending_prepare is None
 
 
 def test_rejoin_after_crash():

@@ -62,14 +62,16 @@ def test_hb_suppression_skips_heartbeats_for_active_links():
     # because every delivery refreshes the receiver's liveness clock.
     sim, network, nodes = build_overlay(6, seed=136, config=live_cfg(hb_suppress_s=2.0))
     beats = []
-    orig_send = network.send
+    orig_send = network.send_framed
 
-    def counting_send(src, dst, kind, payload, **kw):
-        if kind == "heartbeat":
-            beats.append((src, dst))
-        return orig_send(src, dst, kind, payload, **kw)
+    def counting_send(msg, tuples=0, on_fail=None):
+        if msg.kind == "heartbeat":
+            beats.append((msg.src, msg.dst))
+        return orig_send(msg, tuples, on_fail)
 
-    network.send = counting_send
+    # Nodes frame their own messages and enter the network at
+    # ``send_framed``; patch that seam to observe overlay traffic.
+    network.send_framed = counting_send
 
     def chatter():
         for n in nodes:
@@ -136,14 +138,16 @@ def test_heartbeat_echo_converges_without_ping_pong():
     relocated = Code("".join("1" if b == "0" else "0" for b in s.code.bits))
     x._set_code(relocated, old_code=x_old)
     beats = []
-    orig_send = network.send
+    orig_send = network.send_framed
 
-    def counting_send(src, dst, kind, payload, **kw):
-        if kind == "heartbeat" and src == x.address and dst == s.address:
-            beats.append(payload)
-        return orig_send(src, dst, kind, payload, **kw)
+    def counting_send(msg, tuples=0, on_fail=None):
+        if msg.kind == "heartbeat" and msg.src == x.address and msg.dst == s.address:
+            beats.append(msg.payload)
+        return orig_send(msg, tuples, on_fail)
 
-    network.send = counting_send
+    # Nodes frame their own messages and enter the network at
+    # ``send_framed``; patch that seam to observe overlay traffic.
+    network.send_framed = counting_send
     sim.run_until(sim.now + 10 * 2.0)
     assert s.neighbors.code_of(x_addr) == relocated
     # One corrective beacon heals the entry; after that s's heartbeats

@@ -180,6 +180,77 @@ def test_unregistered_handler_is_flagged(tmp_path):
     assert result.active[0].rule == "protocol-unregistered-handler"
 
 
+def test_dispatch_table_registration_keeps_coverage_checking(tmp_path):
+    # The data plane dispatches through per-node tables indexed by
+    # interned kind id, but the tables are built at runtime from the
+    # same sources the linter reads statically: the ``self._handlers``
+    # dict literal and the baselines' ``handlers["kind"] = fn``
+    # assignments (preserved by the _HandlerRegistry shim).  This
+    # fixture mirrors both idioms, runtime table build included, and
+    # proves coverage checking still sees through them: handled kinds
+    # stay clean while a sent-but-unhandled kind and a dead registry
+    # entry are still flagged.
+    path = write_fixture(
+        tmp_path,
+        """
+        KIND_IDS = {"pong": 0, "ping": 1, "lost": 2}
+
+        class Node:
+            def __init__(self):
+                self._handlers = {"pong": self._on_pong}
+                self._dispatch_table = None
+
+            def _build_dispatch_table(self):
+                table = [None] * (len(KIND_IDS) + 1)
+                for kind, handler in self._handlers.items():
+                    table[KIND_IDS[kind]] = handler
+                self._dispatch_table = table
+                return table
+
+            def poke(self, dst):
+                self._send(dst, "pong", {"seq": 2})
+                self._send(dst, "ping", {"seq": 1})
+                self._send(dst, "lost", {"seq": 3})
+
+            def _on_pong(self, msg):
+                return msg.payload["seq"]
+
+        class _Registry(dict):
+            def __init__(self, owner):
+                super().__init__()
+                self._owner = owner
+
+            def __setitem__(self, kind, handler):
+                super().__setitem__(kind, handler)
+                self._owner._register(kind, handler)
+
+        class BaselineNode:
+            def __init__(self):
+                self.handlers = _Registry(self)
+                self._dispatch_table = [None] * (len(KIND_IDS) + 1)
+                self.handlers["ping"] = self._on_ping
+
+            def _register(self, kind, handler):
+                self._dispatch_table[KIND_IDS[kind]] = handler
+
+            def _on_ping(self, msg):
+                return msg.payload["seq"]
+        """,
+    )
+    registry = {
+        "pong": kind("pong", required=["seq"]),
+        "ping": kind("ping", required=["seq"]),
+        "lost": kind("lost", required=["seq"]),
+        "ghost": kind("ghost"),
+    }
+    result = analyze_fixture(path, registry, check_coverage=True)
+    rules = sorted((f.rule, f.line) for f in result.active)
+    assert rules == [
+        ("protocol-dead-kind", 0),
+        ("protocol-unhandled-kind", line_of(path, '"lost", {"seq": 3}')),
+    ]
+
+
 def test_routed_inner_kind_reads_are_branch_aware(tmp_path):
     path = write_fixture(
         tmp_path,

@@ -1,0 +1,179 @@
+"""End-to-end semantic equivalence of link-level delivery coalescing.
+
+Coalescing (``ClusterConfig.coalesce_window_s``) batches messages sharing
+a directed link and arrival window into one drain event at the window
+boundary.  It defers each delivery by less than one window and never
+reorders a link's messages, so a seeded workload must produce
+semantically identical results with coalescing on or off: same records
+recalled per query, same completeness, same ``failed_regions``, and the
+same operation-level failure counters.  Event counts and exact latencies
+legitimately differ — that is the point of coalescing — but the answers
+may not.
+
+Coalescing is a *bounded timing* perturbation (each delivery defers by at
+most one window), so the workload keeps every semantic decision far from
+any crash deadline: inserts finish well before the first crash, and the
+failure-injection phase probes the dead region with queries scheduled
+deep inside the downtime window — seconds of margin against a worst-case
+per-hop deferral of milliseconds.  Within those margins every outcome is
+deterministic and must match exactly across window sizes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, MindCluster
+from repro.core.mind_node import MindConfig
+from repro.core.query import RangeQuery
+from repro.core.records import Record
+from repro.net.latency import LatencyModel
+from repro.overlay.node import OverlayConfig
+from repro.traffic.indices import index1_schema
+
+#: No coalescing / well below the LAN latency / at latency scale.
+WINDOWS = [0.0, 0.0005, 0.005]
+
+
+def _make_cluster(coalesce_window_s, seed=77, nodes=16, replication=1):
+    config = ClusterConfig(
+        seed=seed,
+        overlay=OverlayConfig(
+            service_time_s=0.0,
+            service_jitter_sigma=0.0,
+            liveness_enabled=True,
+            hb_interval_s=5.0,
+            hb_timeout_s=20.0,
+            adoption_delay_s=2.0,
+        ),
+        mind=MindConfig(code_depth=10),
+        latency=LatencyModel(base_s=0.005, jitter_sigma=0.0, pathology_prob=0.0),
+        slow_node_fraction=0.0,
+        coalesce_window_s=coalesce_window_s,
+    )
+    cluster = MindCluster(nodes, config)
+    cluster.build()
+    cluster.create_index(index1_schema(86400.0), replication=replication)
+    return cluster
+
+
+def _queries(rng, n):
+    out = []
+    for _ in range(n):
+        t0 = rng.uniform(0, 86400 - 600)
+        lo = rng.uniform(0, 4000)
+        out.append(
+            RangeQuery(
+                "index1",
+                {
+                    "timestamp": (t0, t0 + 600),
+                    "fanout": (lo, lo + rng.uniform(100, 800)),
+                },
+            )
+        )
+    return out
+
+
+def _run(coalesce_window_s):
+    cluster = _make_cluster(coalesce_window_s)
+    addresses = [n.address for n in cluster.nodes]
+    rng = random.Random(5)
+    base = cluster.sim.now
+    for i in range(200):
+        record = Record(
+            [rng.uniform(0, 2**32), rng.uniform(0, 86400), rng.uniform(0, 5024)],
+            payload={"i": i},
+            key=i + 1,
+        )
+        cluster.schedule_insert(
+            "index1", record, rng.choice(addresses), base + float(i % 10)
+        )
+    # Crashes start only after every insert has long completed; queries
+    # probe the dead regions deep inside the downtime windows, so every
+    # run — whatever its sub-window timing shifts — sees the same live
+    # topology at each semantic decision point.
+    victim, other = addresses[3], addresses[11]
+    cluster.failures.crash_and_restore(victim, at_in_s=30.0, downtime_s=20.0)
+    cluster.failures.crash_and_restore(other, at_in_s=32.0, downtime_s=10.0)
+    queries = _queries(rng, 15)
+    for j, query in enumerate(queries[:10]):
+        # During both downtimes (rel 35.0 .. 39.5).
+        cluster.schedule_query(query, rng.choice(addresses), base + 35.0 + j * 0.5)
+    for j, query in enumerate(queries[10:]):
+        # After both restores (rel 70+).
+        cluster.schedule_query(query, rng.choice(addresses), base + 70.0 + float(j))
+    cluster.advance(150.0)
+    return cluster, base
+
+
+def _semantics(cluster, base):
+    """Order-independent answers + operation-level failure counters.
+
+    Times are taken relative to the workload start: the build phase itself
+    crosses the network, so coalescing legitimately shifts the absolute
+    instant the workload begins.
+    """
+    queries = []
+    for m in sorted(cluster.metrics.queries, key=lambda m: (m.origin, m.start)):
+        queries.append(
+            (
+                m.origin,
+                round(m.start - base, 9),
+                m.complete,
+                sorted(m.record_keys),
+                sorted(m.failed_regions),
+            )
+        )
+    inserts = sorted(
+        (m.origin, round(m.start - base, 9), m.success)
+        for m in cluster.metrics.inserts
+    )
+    failure_counters = {
+        "inserts_failed": sum(1 for m in cluster.metrics.inserts if not m.success),
+        "queries_incomplete": sum(1 for m in cluster.metrics.queries if not m.complete),
+        "queries_degraded": sum(1 for m in cluster.metrics.queries if m.failed_regions),
+    }
+    return queries, inserts, failure_counters
+
+
+@pytest.mark.slow
+def test_answers_and_failure_counters_invariant_under_coalescing():
+    baseline = None
+    for window in WINDOWS:
+        cluster, base = _run(window)
+        sem = _semantics(cluster, base)
+        assert len(sem[1]) == 200, f"unfinished inserts at window {window}"
+        assert sem[2]["inserts_failed"] == 0, f"insert failures at window {window}"
+        if baseline is None:
+            baseline = sem
+        else:
+            assert sem[0] == baseline[0], f"query answers diverge at window {window}"
+            assert sem[1] == baseline[1], f"insert outcomes diverge at window {window}"
+            assert sem[2] == baseline[2], f"failure counters diverge at window {window}"
+
+
+def test_coalescing_pure_delivery_equivalence():
+    # Failure-free fast check (not marked slow): a small cluster inserting
+    # over shared links must recall the identical record set per query
+    # with coalescing on and off, and nothing may fail either way.
+    results = {}
+    for window in (0.0, 0.001):
+        cluster = _make_cluster(window, seed=11, nodes=8, replication=0)
+        addresses = [n.address for n in cluster.nodes]
+        rng = random.Random(3)
+        for i in range(60):
+            record = Record(
+                [rng.uniform(0, 2**32), rng.uniform(0, 86400), rng.uniform(0, 5024)],
+                payload={"i": i},
+                key=i + 1,
+            )
+            cluster.insert_now("index1", record, rng.choice(addresses))
+        answers = []
+        for j in range(8):
+            t0 = rng.uniform(0, 86400 - 3600)
+            query = RangeQuery("index1", {"timestamp": (t0, t0 + 3600)})
+            metric = cluster.query_now(query, rng.choice(addresses))
+            answers.append((metric.complete, sorted(metric.record_keys)))
+        assert cluster.network.messages_failed == 0
+        results[window] = answers
+    assert results[0.0] == results[0.001]
