@@ -297,6 +297,43 @@ def bench_schedule_fuzz_overhead(n_events: int = 50_000, num_ties: int = 50) -> 
     }
 
 
+def bench_resource_tracking_overhead(n_messages: int = 20_000) -> Dict:
+    """One-shot cost of the resource-lifecycle ledger per delivery.
+
+    Streams coalesced messages through a two-node :class:`SimNetwork`
+    with the ledger off and on.  Every send/delivery pair crosses the
+    ``net:outbox`` register/release instrumentation — the same dict-counter
+    pattern the per-op tables pay — so the delta is what
+    ``REPRO_TRACK_RESOURCES`` adds per message on the data plane.  Like
+    the isolation and fuzz benches above, documentation rather than a
+    gate: it records why timed perf runs keep tracking off.
+    """
+    from repro.net import protocol
+    from repro.net.network import SimNetwork
+    from repro.sim import resources
+    from repro.sim.kernel import Simulator
+
+    def run(tracked: bool) -> None:
+        with resources.tracking(tracked), protocol.validation(False):
+            sim = Simulator(seed=13)
+            net = SimNetwork(sim, {}, coalesce_window_s=0.05)
+            net.register("a", lambda msg: None)
+            net.register("b", lambda msg: None)
+            for i in range(n_messages):
+                net.send("a", "b", "bench_noop", {"i": i})
+            sim.run_until_idle()
+
+    run(False)  # warm-up: first construction pays import/allocator costs
+    off_s, _, on_s, _ = _timed_best_pair(lambda: run(False), lambda: run(True))
+    per_ns = lambda s: round(s / n_messages * 1e9, 1)  # noqa: E731
+    return {
+        "messages": n_messages,
+        "off_ns_per_msg": per_ns(off_s),
+        "tracked_ns_per_msg": per_ns(on_s),
+        "tracking_overhead_ns_per_msg": per_ns(on_s - off_s),
+    }
+
+
 def run_suite(
     records_n: int = 100_000, queries_n: int = 50, seed: int = 7, profiler=None
 ) -> Dict:

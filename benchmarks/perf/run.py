@@ -30,6 +30,7 @@ import numpy as np  # noqa: E402
 from benchmarks.perf.failover_bench import run_failover_scenario  # noqa: E402
 from benchmarks.perf.microbench import (  # noqa: E402
     bench_isolation_overhead,
+    bench_resource_tracking_overhead,
     bench_schedule_fuzz_overhead,
     make_records,
     run_suite,
@@ -37,6 +38,7 @@ from benchmarks.perf.microbench import (  # noqa: E402
 from repro.analysis import analyze_paths  # noqa: E402
 from repro.net import message, protocol  # noqa: E402
 from repro.sim import events as sim_events  # noqa: E402
+from repro.sim import resources  # noqa: E402
 
 #: Regression gates for the full-size scale tier (1M records, 1000 nodes,
 #: seed 7).  Embedded in the BENCH_PERF.json scale block and enforced on
@@ -168,6 +170,18 @@ def main(argv=None) -> int:
         )
         return 1
 
+    # And for the resource-lifecycle ledger: REPRO_TRACK_RESOURCES adds
+    # a register/release dict update per op and per coalesced delivery
+    # (plus quiescence checks at idle) — correctness bookkeeping, not
+    # modeled system cost, so timed baselines must be recorded without it.
+    if resources.tracking_enabled():
+        print(
+            "resource tracking is ON; unset REPRO_TRACK_RESOURCES for "
+            "timed perf runs — refusing to record a perf baseline",
+            file=sys.stderr,
+        )
+        return 1
+
     # Measure with wire validation off regardless of the environment:
     # per-message payload checks would skew the timings.
     protocol.set_validation(False)
@@ -205,10 +219,12 @@ def main(argv=None) -> int:
     else:
         failure_handling = run_failover_scenario(seed=args.seed)
     # One-shot documentation benches (not gates): what copy-on-deliver
-    # would cost per message if isolation were left on, and what the
-    # fuzzed tie-break would cost per event if schedule fuzz were.
+    # would cost per message if isolation were left on, what the fuzzed
+    # tie-break would cost per event if schedule fuzz were, and what the
+    # resource ledger would cost per delivery if tracking were.
     isolation_overhead = bench_isolation_overhead(make_records(256, args.seed))
     schedule_fuzz_overhead = bench_schedule_fuzz_overhead()
+    resource_tracking_overhead = bench_resource_tracking_overhead()
 
     # The scale tier is opt-in (minutes of wall clock); when it is not
     # re-run, carry the previously recorded block forward so a quick
@@ -267,6 +283,7 @@ def main(argv=None) -> int:
         "failure_handling": failure_handling,
         "isolation_overhead": isolation_overhead,
         "schedule_fuzz_overhead": schedule_fuzz_overhead,
+        "resource_tracking_overhead": resource_tracking_overhead,
     }
     if scale is not None:
         scale["gates"] = SCALE_GATES

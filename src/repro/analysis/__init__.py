@@ -1,6 +1,7 @@
-"""repro-lint / repro-san: static analysis over the repo's own AST.
+"""repro-lint / repro-san / repro-race / repro-leak: static analysis over
+the repo's own AST.
 
-Three linters guard the invariants the paper's protocols rest on:
+Five linters guard the invariants the paper's protocols rest on:
 
 * the **protocol linter** (:mod:`repro.analysis.protocol_lint`)
   cross-checks every send site and handler registration in the code
@@ -18,13 +19,27 @@ Three linters guard the invariants the paper's protocols rest on:
   payload objects by reference — the cross-node aliasing the paper's
   TCP-serialized deployment made impossible, backstopped at runtime by
   the ``REPRO_ISOLATE_MESSAGES`` delivery sanitizer in
-  :mod:`repro.net.message`.
+  :mod:`repro.net.message`;
+* the **event-ordering analyzer** (:mod:`repro.analysis.ordering_lint`,
+  aka *repro-race*) flags code whose behaviour depends on the kernel's
+  same-timestamp tie-break order — zero-delay read-modify-writes, float
+  equality against the clock, ``.seq`` reads, non-commuting handlers —
+  backstopped at runtime by the ``REPRO_SCHEDULE_FUZZ`` perturbation
+  sanitizer in :mod:`repro.sim.events`;
+* the **lifecycle analyzer** (:mod:`repro.analysis.lifecycle_lint`, aka
+  *repro-leak*) proves per-op and per-node state is reclaimed: keyed
+  ``self.*`` entries need a removal path, scheduled callbacks need a
+  cancel handle or staleness guard, teardown must prune every table it
+  owns — backstopped at runtime by the ``REPRO_TRACK_RESOURCES``
+  quiescence ledger in :mod:`repro.sim.resources`.
 
 Run it as ``python -m repro.analysis [paths...]`` (``--only`` selects one
-analysis, ``--format=json`` emits machine-readable findings) or through
-the tier-1 pytest gate in ``tests/test_analysis.py``.  Individual
+analysis, ``--format=json`` emits machine-readable findings,
+``--fail-on-new`` gates only findings absent from the baseline) or
+through the tier-1 pytest gate in ``tests/test_analysis.py``.  Individual
 findings can be suppressed with a ``# repro-lint: ignore[rule]`` (or
-``# repro-san: ignore[rule]``) comment on (or above) the offending line;
+``# repro-san: ignore[rule]``, ``# repro-race: ignore[rule]``,
+``# repro-leak: ignore[rule]``) comment on (or above) the offending line;
 repo-wide accepted findings live, with justification, in
 :mod:`repro.analysis.baseline`.
 """

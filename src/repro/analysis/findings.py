@@ -89,6 +89,26 @@ RULES = {
         "attribute; two same-timestamp messages make the final value "
         "last-writer-wins"
     ),
+    "leak-op-state": (
+        "a handler writes per-op-keyed entries into a self.* dict/set "
+        "but no method of the class ever removes them; under churn the "
+        "table grows for every op that dies mid-flight"
+    ),
+    "leak-timer-unguarded": (
+        "a scheduled callback writes self.* state, keeps no cancel "
+        "handle, and has no staleness/liveness guard; it fires after a "
+        "crash or completion and resurrects state that was torn down"
+    ),
+    "leak-node-retention": (
+        "a keyed table of a class with an unregister/teardown method "
+        "accumulates entries the teardown path never removes; entries "
+        "for departed nodes are retained forever"
+    ),
+    "leak-unbounded-growth": (
+        "appends to a long-lived self.* list with no bound, eviction, "
+        "or consumption anywhere in the class; memory grows with run "
+        "length (metrics and logs included)"
+    ),
 }
 
 

@@ -12,6 +12,7 @@ from repro.analysis import baseline as baseline_mod
 from repro.analysis.aliasing_lint import lint_aliasing
 from repro.analysis.determinism_lint import collect_set_attrs, lint_determinism
 from repro.analysis.findings import RULES, Finding
+from repro.analysis.lifecycle_lint import lint_lifecycle
 from repro.analysis.ordering_lint import lint_ordering
 from repro.analysis.protocol_lint import collect_module, lint_protocol
 from repro.analysis.suppressions import (
@@ -22,7 +23,7 @@ from repro.analysis.suppressions import (
 from repro.net import protocol
 
 #: the individual analyses ``--only`` can select
-LINTS = ("protocol", "determinism", "aliasing", "ordering")
+LINTS = ("protocol", "determinism", "aliasing", "ordering", "lifecycle")
 
 #: repro subpackages whose code must be deterministic.  ``analysis`` and
 #: ``experiments`` are excluded: they run outside the simulation (the
@@ -50,6 +51,15 @@ ORDERING_SCOPE = (
 #: ``seq``, compare times, and schedule at ``now`` by design.
 ORDERING_EXEMPT = ("repro/sim/events.py", "repro/sim/kernel.py")
 
+#: repro subpackages subject to the resource-lifecycle (repro-leak)
+#: rules — everything that holds per-op or per-node state across events.
+#: ``storage`` is excluded by design: a store's whole job is retention
+#: (records live until the workload deletes them), so every keyed insert
+#: there would be a false positive.
+LIFECYCLE_SCOPE = (
+    "overlay", "core", "net", "sim", "baselines", "traffic", "anomaly",
+)
+
 
 @dataclass
 class AnalysisResult:
@@ -58,6 +68,10 @@ class AnalysisResult:
     active: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
     accepted: List[Finding] = field(default_factory=list)
+    #: baseline keys that matched no finding in this run — dead weight in
+    #: :mod:`repro.analysis.baseline` (only meaningful for full-repo runs
+    #: with every lint selected; subsets legitimately miss entries).
+    stale_baseline: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -122,6 +136,10 @@ def _in_ordering_scope(rel_path: str) -> bool:
     return _in_scope(rel_path, ORDERING_SCOPE)
 
 
+def _in_lifecycle_scope(rel_path: str) -> bool:
+    return _in_scope(rel_path, LIFECYCLE_SCOPE)
+
+
 def analyze_paths(
     paths: Sequence[str],
     registry: Optional[Dict[str, protocol.MessageKind]] = None,
@@ -177,6 +195,11 @@ def analyze_paths(
             if _in_ordering_scope(module.path):
                 findings.extend(lint_ordering(module))
 
+    if "lifecycle" in selected:
+        for module in modules:
+            if _in_lifecycle_scope(module.path):
+                findings.extend(lint_lifecycle(module))
+
     ignores_by_path = {rel_path: inline_ignores(source) for rel_path, source, _ in sources}
     result = AnalysisResult()
     unsuppressed: List[Finding] = []
@@ -186,6 +209,10 @@ def analyze_paths(
         else:
             unsuppressed.append(finding)
     result.active, result.accepted = split_baselined(unsuppressed, baseline)
+    seen_keys = {finding.key for finding in findings}
+    result.stale_baseline = [
+        entry["key"] for entry in baseline if entry["key"] not in seen_keys
+    ]
     return result
 
 
@@ -211,13 +238,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.analysis",
         description=(
             "repro static analysis: protocol (repro-lint), determinism "
-            "(repro-lint), cross-node aliasing (repro-san), and "
-            "event-ordering races (repro-race)"
+            "(repro-lint), cross-node aliasing (repro-san), event-ordering "
+            "races (repro-race), and resource lifecycle (repro-leak)"
         ),
         epilog=(
             "exit codes: 0 — no active findings; 1 — active findings "
-            "(suppressed/baselined ones never fail the gate); 2 — usage "
-            "error (unknown flag or --only value)"
+            "(suppressed/baselined ones never fail the gate; with "
+            "--fail-on-new this is the only failure mode); 2 — usage error "
+            "(unknown flag or --only value); 3 — stale baseline entries "
+            "(a baseline key matched no finding — trim analysis/baseline.py; "
+            "checked only on full runs: every lint selected, coverage on, "
+            "no --fail-on-new)"
         ),
     )
     parser.add_argument(
@@ -225,8 +256,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="files or directories to analyze (default: the repro package)",
     )
     parser.add_argument(
-        "--only", choices=LINTS, metavar="{protocol,determinism,aliasing,ordering}",
-        help="run a single analysis instead of all four",
+        "--only", choices=LINTS,
+        metavar="{protocol,determinism,aliasing,ordering,lifecycle}",
+        help="run a single analysis instead of all five",
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -237,6 +269,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-coverage", action="store_true",
         help="skip whole-protocol coverage checks (unhandled/unsent/dead "
         "kinds); use when analyzing a subset of the code",
+    )
+    parser.add_argument(
+        "--fail-on-new", action="store_true",
+        help="gate only findings absent from analysis/baseline.py: skip the "
+        "stale-baseline check so branches that fix a baselined finding "
+        "don't fail before the baseline is trimmed",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
@@ -251,6 +289,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     paths = list(args.paths) or _default_paths()
     lints = None if args.only is None else (args.only,)
     result = analyze_paths(paths, check_coverage=not args.no_coverage, lints=lints)
+    # The stale-baseline check only makes sense on full runs: with a lint
+    # subset or coverage off, entries legitimately match nothing.
+    check_stale = args.only is None and not args.no_coverage and not args.fail_on_new
+    stale = result.stale_baseline if check_stale else []
 
     if args.format == "json":
         print(
@@ -259,12 +301,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "findings": [_finding_dict(f) for f in result.active],
                     "suppressed": len(result.suppressed),
                     "accepted": len(result.accepted),
-                    "ok": result.ok,
+                    "stale_baseline": stale,
+                    "ok": result.ok and not stale,
                 },
                 indent=2,
             )
         )
-        return 0 if result.ok else 1
+        if not result.ok:
+            return 1
+        return 3 if stale else 0
 
     for finding in result.active:
         print(finding.render())
@@ -276,6 +321,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if result.active:
         print(f"repro-lint: FAIL — {tail}", file=sys.stderr)
         return 1
+    if stale:
+        for key in stale:
+            print(f"stale baseline entry (no matching finding): {key}", file=sys.stderr)
+        print(f"repro-lint: STALE BASELINE — {tail}", file=sys.stderr)
+        return 3
     print(f"repro-lint: OK — {tail}")
     return 0
 

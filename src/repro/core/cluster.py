@@ -255,6 +255,19 @@ class MindCluster:
         """Run until no events remain (only safe with liveness disabled)."""
         self.sim.run_until_idle(max_events=max_events)
 
+    def close(self) -> None:
+        """Tear the experiment down; a quiescence checkpoint under tracking.
+
+        Stops churn and, when the resource ledger is armed
+        (``REPRO_TRACK_RESOURCES=1``), asserts that every pending op and
+        per-node table entry has been reclaimed — the cluster-teardown
+        counterpart of the ``run_until_idle`` check, for drivers that
+        advance time by wall-of-clock slices and never drain the queue.
+        """
+        self.failures.stop_churn()
+        if self.sim.resources is not None:
+            self.sim.resources.assert_quiescent("MindCluster.close")
+
     # ------------------------------------------------------------------
     # Operations — blocking convenience API
     # ------------------------------------------------------------------

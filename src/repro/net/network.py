@@ -26,9 +26,11 @@ experiment, so the bookkeeping is laid out for the 1k-node regime:
   probe per side instead of separate registration and liveness checks,
   and the link-down check short-circuits on the (empty) outage table.
 * **Churn hygiene.**  :meth:`unregister` prunes every per-link entry
-  touching the departed address (busy state, outage state, accounting) so
-  long churn runs don't accumulate state for dead links; pass
-  ``retain_stats=True`` to keep the accounting for post-run reporting.
+  touching the departed address (busy state, outage state, accounting)
+  and re-homes any coalesced delivery batches still pending on the freed
+  link ids, so long churn runs don't accumulate state for dead links;
+  pass ``retain_stats=True`` to keep the accounting for post-run
+  reporting.
 """
 
 from dataclasses import dataclass, field
@@ -39,6 +41,7 @@ from repro.net.latency import LatencyModel
 from repro.net.message import HEADER_BYTES, Message
 from repro.net.topology import Site
 from repro.sim.kernel import Simulator
+from repro.sim.resources import ResourceLedger
 
 DeliverFn = Callable[[Message], None]
 FailFn = Callable[[Message, str], None]
@@ -221,6 +224,10 @@ class SimNetwork:
         #: pair-key hashing collapse to one float read.
         self._lk_prop: List[float] = []
 
+        #: Resource ledger (repro-leak quiescence sanitizer); ``None``
+        #: when tracking is off, leaving one identity test per guard.
+        self._res: Optional[ResourceLedger] = sim.resources
+
         self._rng = sim.rng("net.latency")
         #: Block-drawn per-message jitters (opt-in, ``draw_block`` > 0).
         #: The stdlib ``lognormvariate`` costs a Python-level rejection
@@ -281,12 +288,43 @@ class SimNetwork:
             for by_dst, dst in incoming:
                 self._lk_busy_until[by_dst[dst]] = 0.0
             return
+        released = set()
         if out:
             del self._link_ids[address]
             for link_id in out.values():
                 self._release_link(link_id)
+                released.add(link_id)
         for by_dst, dst in incoming:
-            self._release_link(by_dst.pop(dst))
+            link_id = by_dst.pop(dst)
+            self._release_link(link_id)
+            released.add(link_id)
+        if released and self._outbox:
+            self._flush_released_links(released)
+
+    def _flush_released_links(self, released: set) -> None:
+        """Re-home pending coalesced batches whose link ids were freed.
+
+        A freed id can be re-interned by a *different* (src, dst) pair
+        before the batch's drain event fires, silently merging the dead
+        link's backlog into the new link's batch.  Each pending message
+        moves to its own plain delivery event at the same drain boundary,
+        so per-message delivery/failure semantics are preserved exactly
+        and ``unregister`` leaves no coalescing state behind.
+        """
+        window = self.coalesce_window_s
+        res = self._res
+        stale = [key for key in self._outbox if key[0] in released]
+        for key in stale:
+            slot = key[1]
+            keys = self._slot_links[slot]
+            keys.remove(key)
+            if not keys:
+                del self._slot_links[slot]
+            at = slot * window
+            for msg, on_fail in self._outbox.pop(key):
+                if res is not None:
+                    res.release("net:outbox", msg.dst)
+                self.sim.push_at(at, self._deliver, (msg, on_fail))
 
     def set_node_up(self, address: str, up: bool) -> None:
         if address not in self._endpoints:
@@ -514,6 +552,8 @@ class SimNetwork:
                 keys.append(key)
         else:
             batch.append((msg, on_fail))
+        if self._res is not None:
+            self._res.register("net:outbox", msg.dst)
         return msg
 
     #: Hot-path entry for senders that already framed their Message (the
@@ -532,8 +572,13 @@ class SimNetwork:
         outbox = self._outbox
         up = self._up_endpoints
         level = message_mod._isolation
-        for key in self._slot_links.pop(slot):
+        res = self._res
+        # ``pop`` default: unregister may have re-homed every batch of
+        # this window, leaving the already-scheduled drain event stale.
+        for key in self._slot_links.pop(slot, ()):
             for msg, on_fail in outbox.pop(key):
+                if res is not None:
+                    res.release("net:outbox", msg.dst)
                 deliver = up.get(msg.dst)
                 if deliver is None:
                     self._fail(msg, "peer-down", on_fail, immediate=True)
@@ -562,13 +607,22 @@ class SimNetwork:
         slot = int(time / window) + 1
         batch = self._call_wheel.get(slot)
         if batch is None:
-            self._call_wheel[slot] = [(fn, args)]
+            # Keyed by window index, not node id: the slot's drain event
+            # is already scheduled when the entry is created and always
+            # empties it within one window, so unregister has nothing to
+            # prune (stale callbacks self-guard, per the docstring).
+            self._call_wheel[slot] = [(fn, args)]  # repro-leak: ignore[leak-node-retention] time-keyed, drains within one window
             self.sim.push_at(slot * window, self._drain_calls, (slot,))
         else:
             batch.append((fn, args))
+        if self._res is not None:
+            self._res.register("net:call-wheel", getattr(fn, "__qualname__", "fn"))
 
     def _drain_calls(self, slot: int) -> None:
+        res = self._res
         for fn, args in self._call_wheel.pop(slot):
+            if res is not None:
+                res.release("net:call-wheel", getattr(fn, "__qualname__", "fn"))
             fn(*args)
 
     # ------------------------------------------------------------------

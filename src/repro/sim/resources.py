@@ -1,0 +1,132 @@
+"""Resource-lifecycle ledger: the runtime half of repro-leak.
+
+The lifecycle lint (:mod:`repro.analysis.lifecycle_lint`) proves
+statically that every per-op table has a removal path; this module
+proves dynamically that the paths actually run.  With
+``REPRO_TRACK_RESOURCES=1`` every Simulator constructed afterwards
+carries a :class:`ResourceLedger`; instrumented sites register each
+pending-op record, watchdog, or per-node table entry at creation and
+release it on every exit path.  At quiescence — the end of
+``run_until_idle`` or an explicit ``MindCluster.close()`` — the ledger
+must be empty; a leak raises :class:`ResourceLeakError` with a
+named-owner diff (``category owner xN``), so the failing table and key
+are in the traceback, not just "memory grew".
+
+Tracking is off by default: the ledger costs a dict write per op on the
+hot path, so the perf runner refuses timed runs with it enabled (like
+the isolation and schedule-fuzz sanitizers).  The tests enable it
+suite-wide via a conftest fixture.
+
+Like the other sanitizers the mode is captured at Simulator
+construction: only simulators created after :func:`set_tracking` (or
+under the :func:`tracking` context manager) observe the new mode.
+"""
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+def _enabled_from_env() -> bool:
+    return os.environ.get("REPRO_TRACK_RESOURCES", "") not in ("", "0")
+
+
+_tracking = _enabled_from_env()
+
+
+def tracking_enabled() -> bool:
+    """True when newly constructed simulators will carry a ledger."""
+    return _tracking
+
+
+def set_tracking(on: bool) -> bool:
+    """Set the mode for simulators constructed from now on; returns previous."""
+    global _tracking
+    previous = _tracking
+    _tracking = bool(on)
+    return previous
+
+
+@contextmanager
+def tracking(on: bool = True) -> Iterator[None]:
+    """Scoped :func:`set_tracking` for tests."""
+    previous = set_tracking(on)
+    try:
+        yield
+    finally:
+        set_tracking(previous)
+
+
+class ResourceLeakError(AssertionError):
+    """The ledger was not empty at a quiescence checkpoint."""
+
+
+class ResourceLedger:
+    """Counts live resources keyed by ``(category, owner)``.
+
+    ``category`` names the resource class (``"op:insert"``,
+    ``"net:outbox"``, ...) and ``owner`` the holder (a node address, a
+    link key) — together they name the leaking table entry in the
+    quiescence diff.  Multiple registrations of the same pair are
+    counted, so N leaked entries show as ``xN`` rather than hiding
+    behind set semantics.
+    """
+
+    def __init__(self) -> None:
+        self._live: Dict[Tuple[str, str], int] = {}
+
+    def register(self, category: str, owner: str) -> None:
+        key = (category, owner)
+        self._live[key] = self._live.get(key, 0) + 1
+
+    def release(self, category: str, owner: str) -> None:
+        """Release one registration; strict — a double release raises.
+
+        Release-without-register is itself a lifecycle bug (a removal
+        path running twice, or against state it never created), so the
+        ledger refuses to go negative instead of masking it.
+        """
+        key = (category, owner)
+        count = self._live.get(key, 0)
+        if count <= 0:
+            raise ResourceLeakError(
+                f"release without matching register: {category} {owner!r}"
+            )
+        if count == 1:
+            del self._live[key]
+        else:
+            self._live[key] = count - 1
+
+    def live(self) -> int:
+        """Total live registrations (the soak test's bound)."""
+        return sum(self._live.values())
+
+    def snapshot(self) -> List[Tuple[str, str, int]]:
+        """Sorted ``(category, owner, count)`` rows of everything live."""
+        return sorted(
+            (category, owner, count)
+            for (category, owner), count in self._live.items()
+        )
+
+    def assert_quiescent(self, context: str) -> None:
+        """Raise :class:`ResourceLeakError` unless the ledger is empty."""
+        if not self._live:
+            return
+        rows = [
+            f"  {category} {owner!r} x{count}"
+            for category, owner, count in self.snapshot()
+        ]
+        raise ResourceLeakError(
+            f"{context}: {self.live()} resource(s) still live at "
+            "quiescence:\n" + "\n".join(rows)
+        )
+
+
+def new_ledger() -> Optional[ResourceLedger]:
+    """A fresh ledger when tracking is enabled, else ``None``.
+
+    Instrumented sites cache the (possibly ``None``) ledger once and
+    guard each register/release with ``if ledger is not None`` — the
+    tracking-off cost is one attribute load and an identity test.
+    """
+    return ResourceLedger() if _tracking else None

@@ -30,11 +30,13 @@ def _run_harness(output, extra_env=None, extra_args=()):
     # tie-break; the harness refuses to run with the isolation or
     # schedule-fuzz sanitizers on, so the smoke test must not leak the
     # suite's REPRO_ISOLATE_MESSAGES / REPRO_SCHEDULE_FUZZ into it.
-    # Same for wire validation, which the scale tier refuses outright.
+    # Same for wire validation, which the scale tier refuses outright,
+    # and the resource-lifecycle ledger.
     env.pop("REPRO_ISOLATE_MESSAGES", None)
     env.pop("REPRO_PROTOCOL_VALIDATE", None)
     env.pop("REPRO_SCHEDULE_FUZZ", None)
     env.pop("REPRO_SCHEDULE_FUZZ_SEED", None)
+    env.pop("REPRO_TRACK_RESOURCES", None)
     env.update(extra_env or {})
     return subprocess.run(
         [
@@ -73,6 +75,10 @@ def test_run_py_writes_bench_perf_json(tmp_path):
     assert fuzz["off_ns_per_event"] >= 0.0
     assert fuzz["shuffle_ns_per_event"] >= 0.0
     assert fuzz["reverse_ns_per_event"] >= 0.0
+    tracking = payload["resource_tracking_overhead"]
+    assert tracking["messages"] > 0
+    assert tracking["off_ns_per_msg"] >= 0.0
+    assert tracking["tracked_ns_per_msg"] >= 0.0
 
 
 def test_run_py_refuses_isolation_on(tmp_path):
@@ -88,6 +94,14 @@ def test_run_py_refuses_schedule_fuzz_on(tmp_path):
     result = _run_harness(output, extra_env={"REPRO_SCHEDULE_FUZZ": "shuffle"})
     assert result.returncode == 1
     assert "schedule fuzz" in result.stderr
+    assert not output.exists()
+
+
+def test_run_py_refuses_resource_tracking_on(tmp_path):
+    output = tmp_path / "BENCH_PERF.json"
+    result = _run_harness(output, extra_env={"REPRO_TRACK_RESOURCES": "1"})
+    assert result.returncode == 1
+    assert "resource tracking" in result.stderr
     assert not output.exists()
 
 

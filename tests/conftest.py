@@ -24,12 +24,21 @@ the fixture below re-applies them so a test that leaked a
 Tests that pin a specific tie-break order (golden transcript digests,
 engine A/B equivalence) wrap simulator construction in
 ``events.schedule_fuzz("off")``.
+
+Resource tracking (``REPRO_TRACK_RESOURCES=1``) arms the repro-leak
+quiescence ledger suite-wide: every pending op and per-node table entry
+registers at creation, and any simulator that reaches ``run_until_idle``
+(or a cluster that is ``close()``d) with live entries raises a
+named-owner diff.  As with schedule fuzz, the fixture re-applies the
+environment value so a leaked ``set_tracking`` call cannot silently
+change the suite's mode; tests that measure timing wrap construction in
+``resources.tracking(False)``.
 """
 
 import pytest
 
 from repro.net import message, protocol
-from repro.sim import events
+from repro.sim import events, resources
 
 
 @pytest.fixture(autouse=True, scope="session")
@@ -37,6 +46,13 @@ def _schedule_fuzz():
     previous = events.set_schedule_fuzz(events._mode_from_env(), events._seed_from_env())
     yield
     events.set_schedule_fuzz(previous[0], previous[1])
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _resource_tracking():
+    previous = resources.set_tracking(resources._enabled_from_env())
+    yield
+    resources.set_tracking(previous)
 
 
 @pytest.fixture(autouse=True, scope="session")

@@ -406,6 +406,97 @@ def test_unregister_freed_link_ids_are_reused():
 
 
 # ----------------------------------------------------------------------
+# unregister() vs pending coalesced state
+# ----------------------------------------------------------------------
+
+
+def test_unregister_flushes_pending_coalesced_batches():
+    # Regression: unregister freed a departed node's link ids but left its
+    # pending coalesced batches in _outbox/_slot_links, keyed by the freed
+    # ids.  Batches must be re-homed at unregister time: the outbox holds
+    # nothing for freed links, each message still resolves individually at
+    # the same drain boundary, and the stale drain event no-ops.
+    sim, net = make_net(coalesce_window_s=0.05)
+    delivered = []
+    failures = []
+    net.register("a", lambda m: delivered.append(m.kind))
+    net.register("b", lambda m: delivered.append(m.kind))
+    net.send("a", "b", "to-b", on_fail=lambda m, r: failures.append((m.kind, r)))
+    net.send("b", "a", "from-b")
+    assert net._outbox  # both sends are pending in the first window
+
+    net.unregister("b")
+
+    assert net._outbox == {}
+    assert net._slot_links == {}
+    sim.run_until_idle()  # the already-scheduled drain event must no-op
+    assert delivered == ["from-b"]  # in-flight traffic *from* b still lands
+    assert failures == [("to-b", "peer-down")]
+    assert net.messages_delivered == 1
+    assert net.messages_failed == 1
+
+
+def test_reinterned_link_does_not_inherit_stale_batches():
+    # Regression: a freed link id re-interned by a new (src, dst) pair in
+    # the same window used to find the dead link's batch under its own
+    # (link_id, slot) key and merge into it.  The new link must start with
+    # a batch of its own messages only.
+    sim, net = make_net(coalesce_window_s=0.05)
+    delivered = []
+    failures = []
+    net.register("a", lambda m: None)
+    net.register("b", lambda m: None)
+    net.send("a", "b", "stale", on_fail=lambda m, r: failures.append((m.kind, r)))
+    net.unregister("b")
+    net.register("d", lambda m: delivered.append(m.kind))
+    net.send("a", "d", "fresh")
+    # (a, d) reuses the freed id and its first window is the stale batch's
+    # slot; post-flush it must be the only pending batch, of one message.
+    assert len(net._outbox) == 1
+    ((batch),) = net._outbox.values()
+    assert [m.kind for m, _ in batch] == ["fresh"]
+
+    sim.run_until_idle()
+    assert delivered == ["fresh"]
+    assert failures == [("stale", "peer-down")]
+    assert net.messages_delivered == 1
+    assert net.messages_failed == 1
+
+
+def test_call_wheel_drains_after_unregister():
+    # call_in_slot entries are time-keyed, not node-keyed: a callback
+    # scheduled before its node unregistered still fires (stale callbacks
+    # self-guard), and the wheel is empty at idle.
+    sim, net = make_net(coalesce_window_s=0.05)
+    fired = []
+    net.register("a", lambda m: None)
+    net.call_in_slot(0.02, fired.append, ("tick",))
+    net.unregister("a")
+    sim.run_until_idle()
+    assert fired == ["tick"]
+    assert net._call_wheel == {}
+
+
+def test_resource_ledger_drains_through_unregister():
+    # With tracking on, re-homed outbox entries release their ledger slots
+    # when they resolve — run_until_idle's quiescence check passes even
+    # when an endpoint unregisters with traffic still coalesced.
+    from repro.sim import resources
+
+    with resources.tracking(True), protocol.validation(False):
+        sim = Simulator(seed=1)
+        net = SimNetwork(sim, {}, coalesce_window_s=0.05)
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        net.send("a", "b", "ping")
+        net.send("b", "a", "pong")
+        assert sim.resources.live() == 2  # both outbox entries registered
+        net.unregister("b")
+        sim.run_until_idle()  # would raise ResourceLeakError on residue
+        assert sim.resources.live() == 0
+
+
+# ----------------------------------------------------------------------
 # Delay-sample decimation
 # ----------------------------------------------------------------------
 

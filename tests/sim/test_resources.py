@@ -1,0 +1,80 @@
+"""Unit tests for the resource-lifecycle ledger (repro-leak, runtime half)."""
+
+import pytest
+
+from repro.sim import resources
+from repro.sim.kernel import Simulator
+from repro.sim.resources import ResourceLeakError, ResourceLedger
+
+
+def test_register_release_round_trip():
+    ledger = ResourceLedger()
+    ledger.register("op:insert", "node001")
+    ledger.register("op:insert", "node001")
+    ledger.register("net:outbox", "node002")
+    assert ledger.live() == 3
+    assert ledger.snapshot() == [
+        ("net:outbox", "node002", 1),
+        ("op:insert", "node001", 2),
+    ]
+    ledger.release("op:insert", "node001")
+    ledger.release("op:insert", "node001")
+    ledger.release("net:outbox", "node002")
+    assert ledger.live() == 0
+    ledger.assert_quiescent("test")  # empty: no raise
+
+
+def test_release_without_register_raises():
+    # Strict by design: a removal path running twice (or against state it
+    # never created) is itself a lifecycle bug, not something to mask.
+    ledger = ResourceLedger()
+    with pytest.raises(ResourceLeakError, match="release without matching register"):
+        ledger.release("op:query", "node009")
+    ledger.register("op:query", "node009")
+    ledger.release("op:query", "node009")
+    with pytest.raises(ResourceLeakError):
+        ledger.release("op:query", "node009")
+
+
+def test_quiescence_diff_names_owners():
+    ledger = ResourceLedger()
+    ledger.register("op:trigger-reg", "node004")
+    ledger.register("op:trigger-reg", "node004")
+    ledger.register("net:outbox", "node007")
+    with pytest.raises(ResourceLeakError) as excinfo:
+        ledger.assert_quiescent("run_until_idle")
+    text = str(excinfo.value)
+    assert "run_until_idle: 3 resource(s) still live" in text
+    assert "op:trigger-reg 'node004' x2" in text
+    assert "net:outbox 'node007' x1" in text
+
+
+def test_mode_is_captured_at_simulator_construction():
+    with resources.tracking(False):
+        untracked = Simulator(seed=1)
+        with resources.tracking(True):
+            tracked = Simulator(seed=1)
+        assert untracked.resources is None
+        assert tracked.resources is not None
+        # Flipping the mode later never retrofits an existing simulator.
+        assert untracked.resources is None
+
+
+def test_run_until_idle_raises_on_leaked_registration():
+    with resources.tracking(True):
+        sim = Simulator(seed=3)
+    sim.resources.register("op:insert", "node000")
+    sim.schedule(1.0, lambda: None)
+    with pytest.raises(ResourceLeakError, match="op:insert 'node000' x1"):
+        sim.run_until_idle()
+    # Releasing the entry makes the same checkpoint pass.
+    sim.resources.release("op:insert", "node000")
+    sim.run_until_idle()
+
+
+def test_tracking_off_costs_nothing():
+    with resources.tracking(False):
+        sim = Simulator(seed=4)
+    assert sim.resources is None
+    sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()  # no ledger, no check
